@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the full
+synthetic SPECfp95-like suite, saves the rendered artifact under
+``results/`` and asserts the qualitative shape the paper reports.  The
+experiments are deterministic, so a single round is measured
+(``benchmark.pedantic(..., rounds=1)``); the microbenchmarks in
+``test_micro_components.py`` use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads.spec import spec_suite
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full ten-program suite (shared across all benchmarks)."""
+    return spec_suite()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure for EXPERIMENTS.md."""
+    path = results_dir / name
+    path.write_text(text + "\n")

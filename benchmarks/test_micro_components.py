@@ -1,0 +1,78 @@
+"""Microbenchmarks of the library's hot components.
+
+Unlike the figure/table regenerations these use pytest-benchmark's normal
+multi-round statistics, giving a performance baseline for the partitioner,
+the scheduling engine and the graph analyses.
+"""
+
+import pytest
+
+from repro.ir.analysis import analyze, rec_mii
+from repro.machine.presets import four_cluster, two_cluster
+from repro.partition.partitioner import MultilevelPartitioner
+from repro.partition.weights import compute_edge_weights
+from repro.schedule.drivers import GPScheduler, UracamScheduler
+from repro.schedule.mii import mii
+from repro.schedule.ordering import sms_order
+from repro.workloads.generator import LoopShape, generate_loop
+
+
+@pytest.fixture(scope="module")
+def medium_loop():
+    return generate_loop(
+        "bench_medium",
+        LoopShape(40, mem_ratio=0.3, depth_bias=0.35, recurrences=1, trip_count=150),
+        seed=99,
+    )
+
+
+def test_bench_rec_mii(benchmark, medium_loop):
+    benchmark(rec_mii, medium_loop.ddg)
+
+
+def test_bench_analysis(benchmark, medium_loop):
+    ii = rec_mii(medium_loop.ddg)
+    benchmark(analyze, medium_loop.ddg, ii)
+
+
+def test_bench_edge_weights(benchmark, medium_loop):
+    ii = max(rec_mii(medium_loop.ddg), 4)
+    benchmark(compute_edge_weights, medium_loop, ii, 1)
+
+
+def test_bench_sms_order(benchmark, medium_loop):
+    benchmark(sms_order, medium_loop.ddg)
+
+
+def test_bench_partitioner_two_cluster(benchmark, medium_loop):
+    machine = two_cluster(64)
+    partitioner = MultilevelPartitioner(machine)
+    ii = mii(medium_loop, machine)
+    benchmark(partitioner.partition, medium_loop, ii)
+
+
+def test_bench_partitioner_four_cluster(benchmark, medium_loop):
+    machine = four_cluster(64)
+    partitioner = MultilevelPartitioner(machine)
+    ii = mii(medium_loop, machine)
+    benchmark(partitioner.partition, medium_loop, ii)
+
+
+def test_bench_gp_schedule_loop(benchmark, medium_loop):
+    machine = four_cluster(64)
+
+    def run():
+        return GPScheduler(machine).schedule(medium_loop)
+
+    outcome = benchmark(run)
+    assert outcome.ipc() > 0
+
+
+def test_bench_uracam_schedule_loop(benchmark, medium_loop):
+    machine = four_cluster(64)
+
+    def run():
+        return UracamScheduler(machine).schedule(medium_loop)
+
+    outcome = benchmark(run)
+    assert outcome.ipc() > 0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scheduling for a custom clustered machine and a hand-built loop.
+
+Shows the two extension points a downstream user needs:
+
+* describing their own clustered VLIW (heterogeneous clusters, multiple
+  buses, arbitrary latencies) with :class:`repro.MachineConfig`, and
+* building their own loop body with :class:`repro.LoopBuilder`, including
+  loop-carried recurrences and memory-ordering edges.
+
+The example sweeps the bus latency to show the clustering penalty growing —
+the experiment behind the paper's Figure 3.
+
+Run:
+    python examples/custom_machine.py
+"""
+
+from repro import ClusterConfig, GPScheduler, LoopBuilder, MachineConfig
+from repro.eval.report import format_table
+
+
+def build_fir_biquad() -> "repro.Loop":
+    """An IIR biquad filter section: recurrences + streaming memory."""
+    b = LoopBuilder("biquad", trip_count=2048)
+    x = b.load("x[n]")
+    # Feed-forward taps.
+    b0 = b.op("fmul", x, name="b0*x")
+    x1 = b.op("fmul", x, name="b1*x1")
+    ff = b.op("fadd", b0, x1, name="ff")
+    # Feedback taps: y[n] depends on y[n-1] and y[n-2].
+    fb1 = b.op("fmul", name="a1*y1")
+    fb2 = b.op("fmul", name="a2*y2")
+    fb = b.op("fadd", fb1, fb2, name="fb")
+    y = b.op("fsub", ff, fb, name="y[n]")
+    b.recurrence(y, fb1, distance=1)  # y[n-1]
+    b.recurrence(y, fb2, distance=2)  # y[n-2]
+    b.store(y, "y[n]=")
+    return b.build()
+
+
+def asymmetric_machine(bus_latency: int) -> MachineConfig:
+    """A DSP-flavoured machine: a fat compute cluster + a lean one."""
+    return MachineConfig(
+        name=f"dsp-asym-lat{bus_latency}",
+        clusters=(
+            ClusterConfig(int_units=2, fp_units=3, mem_units=1, registers=24),
+            ClusterConfig(int_units=2, fp_units=1, mem_units=2, registers=16),
+        ),
+        num_buses=1,
+        bus_latency=bus_latency,
+    )
+
+
+def main() -> None:
+    loop = build_fir_biquad()
+    print(f"Loop {loop.name!r}: {loop.num_operations} ops, "
+          f"trip count {loop.trip_count}")
+
+    rows = []
+    for bus_latency in (1, 2, 3, 4):
+        machine = asymmetric_machine(bus_latency)
+        outcome = GPScheduler(machine).schedule(loop)
+        sched = outcome.schedule
+        if outcome.is_modulo:
+            sched.validate()
+            rows.append(
+                [
+                    bus_latency,
+                    sched.ii,
+                    sched.stats.bus_transfers,
+                    sched.stats.mem_comms,
+                    f"{outcome.ipc():.3f}",
+                ]
+            )
+        else:
+            rows.append([bus_latency, "-", "-", "-", f"{outcome.ipc():.3f}"])
+
+    print()
+    print("GP on the asymmetric 2-cluster DSP, sweeping bus latency:")
+    print(
+        format_table(
+            ["bus latency", "II", "bus transfers", "mem comms", "IPC"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: schedule one loop on a clustered VLIW with every algorithm.
+
+Builds the classic ``daxpy`` kernel, targets the paper's 2-cluster machine
+with 32 total registers, and compares the unified upper bound with the
+URACAM, Fixed Partition and GP schedulers — the four bars of Figure 2.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    FixedPartitionScheduler,
+    GPScheduler,
+    UnifiedScheduler,
+    UracamScheduler,
+    kernels,
+    two_cluster,
+    unified,
+)
+from repro.eval.report import format_bar_chart
+
+
+def main() -> None:
+    loop = kernels.daxpy(trip_count=1000)
+    print(f"Loop: {loop.name} — {loop.num_operations} operations, "
+          f"{loop.trip_count} iterations")
+    print(loop.ddg.to_dot())
+    print()
+
+    clustered_machine = two_cluster(total_registers=32)
+    unified_machine = unified(total_registers=32)
+    print(f"Machine: {clustered_machine.describe()}")
+    print()
+
+    labels, values = [], []
+    for scheduler in (
+        UnifiedScheduler(unified_machine),
+        UracamScheduler(clustered_machine),
+        FixedPartitionScheduler(clustered_machine),
+        GPScheduler(clustered_machine),
+    ):
+        outcome = scheduler.schedule(loop)
+        labels.append(scheduler.name)
+        values.append(outcome.ipc())
+        if outcome.is_modulo:
+            sched = outcome.schedule
+            sched.validate()  # independent re-verification
+            print(
+                f"{scheduler.name:16s} II={sched.ii:2d} "
+                f"stages={sched.stage_count} "
+                f"bus={sched.stats.bus_transfers} "
+                f"mem-comms={sched.stats.mem_comms} "
+                f"spills={sched.stats.spills} "
+                f"regs={sched.register_peaks()} "
+                f"IPC={outcome.ipc():.3f}"
+            )
+        else:
+            print(f"{scheduler.name:16s} list-scheduled, IPC={outcome.ipc():.3f}")
+
+    print()
+    print(format_bar_chart(labels, values, unit=" IPC"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run a slice of the paper's evaluation (Figure 2, 2-cluster, 32 regs).
+
+Schedules three representative programs of the synthetic SPECfp95-like
+suite with all four schedulers and prints the per-program IPC table plus
+the average gains — a quick, self-contained version of what
+``pytest benchmarks/ --benchmark-only`` regenerates in full.
+
+Run:
+    python examples/spec_evaluation.py [num_programs]
+"""
+
+import sys
+
+from repro.eval.figures import figure2_panel
+from repro.eval.report import format_bar_chart
+from repro.workloads.spec import spec_suite
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    suite = spec_suite()[:count]
+    print(f"Scheduling {sum(len(b.loops) for b in suite)} loops from "
+          f"{len(suite)} programs with 4 schedulers...\n")
+
+    panel = figure2_panel(2, 32, suite=suite)
+    print(panel.render())
+    print()
+    print("Average IPC:")
+    labels = list(panel.series)
+    print(format_bar_chart(labels, [panel.average(l) for l in labels]))
+    print()
+    print(f"GP over URACAM:          {panel.gain_percent('gp', 'uracam'):+.1f}%")
+    print(f"GP over Fixed Partition: {panel.gain_percent('gp', 'fixed-partition'):+.1f}%")
+    print(f"GP vs unified bound:     {panel.gain_percent('gp', 'unified'):+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Loop unrolling as a companion to graph-partitioned scheduling.
+
+The paper's related work (Sánchez & González, ICPP'00) examined unrolling
+for modulo scheduling on clustered VLIWs.  This example unrolls two
+contrasting kernels and schedules each version with GP on the 4-cluster
+machine, reporting *source-level* IPC (original operations per cycle) so
+factors are directly comparable:
+
+* ``stencil5`` is **resource bound**: 9 FP ops on 4 FP units forces
+  II = ceil(9/4) = 3, wasting 3 of 12 FP slots every iteration.  Unrolling
+  amortizes the ceiling waste (U=4 gives 36 ops in II = 9: zero waste).
+* ``dot`` is **recurrence bound**: its accumulator chain is strictly
+  serial, so unrolling U gives II = 3U with no gain — unrolling cannot
+  break a recurrence.
+
+Run:
+    python examples/unrolling_study.py
+"""
+
+from repro import GPScheduler, four_cluster, kernels
+from repro.eval.report import format_table
+from repro.ir.stats import graph_stats
+from repro.ir.transform import unroll
+
+
+def study(base, machine, factors=(1, 2, 3, 4)):
+    rows = []
+    for factor in factors:
+        loop = unroll(base, factor)
+        outcome = GPScheduler(machine).schedule(loop)
+        source_ipc = (
+            base.total_dynamic_operations() / outcome.execution_cycles()
+        )
+        if outcome.is_modulo:
+            schedule = outcome.schedule
+            schedule.validate()
+            rows.append(
+                [factor, schedule.ii, schedule.stage_count,
+                 schedule.register_peaks(), f"{source_ipc:.3f}"]
+            )
+        else:
+            rows.append([factor, "-", "-", "-", f"{source_ipc:.3f}"])
+    return format_table(
+        ["unroll", "II", "stages", "register peaks", "source IPC"], rows
+    )
+
+
+def main() -> None:
+    machine = four_cluster(total_registers=64)
+
+    stencil = kernels.stencil5(trip_count=1200)
+    print(f"Resource-bound kernel: {stencil.name} "
+          f"(RecMII {graph_stats(stencil).rec_mii}, 9 FP ops on 4 FP units)")
+    print(study(stencil, machine))
+    print()
+
+    dot = kernels.dot_product(trip_count=1200)
+    print(f"Recurrence-bound kernel: {dot.name} "
+          f"(RecMII {graph_stats(dot).rec_mii}, serial accumulator)")
+    print(study(dot, machine))
+    print()
+    print("Unrolling pays only where the ceiling waste of the resource")
+    print("bound dominates; a loop-carried recurrence scales its RecMII")
+    print("with the unroll factor and gains nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schedule`` — schedule one kernel (or a JSON loop file) on a machine
+  with one algorithm; prints the kernel listing and the statistics.
+* ``evaluate`` — run a figure panel of the paper's evaluation on the
+  synthetic suite and print the table (optionally CSV/JSON).
+* ``workloads`` — describe the synthetic suite's loop shapes.
+* ``machines`` — list the built-in machine configurations.
+
+Examples::
+
+    python -m repro schedule --kernel daxpy --machine 2x32 --algorithm gp
+    python -m repro evaluate --clusters 4 --registers 32 --programs 3
+    python -m repro workloads --program swim
+    python -m repro machines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .ir.serialize import load as load_loop
+from .ir.stats import describe
+from .machine.config import MachineConfig
+from .machine.dsp import DSP_PRESETS
+from .machine.presets import clustered, table1_configurations, unified
+from .schedule.drivers import SCHEDULERS
+from .schedule.expand import render_kernel
+from .workloads.kernels import KERNELS
+from .workloads.spec import PROGRAM_NAMES, make_benchmark, spec_suite
+
+
+def parse_machine(spec: str) -> MachineConfig:
+    """Parse a machine spec: ``NxR[xB[xL]]`` or a DSP preset name.
+
+    ``2x32`` = 2 clusters, 32 total registers; optional third/fourth fields
+    set the bus count and bus latency (``4x64x2x2``).  ``1xR`` is the
+    unified machine.  Preset names: ``c6x``, ``lx``, ``tigersharc``.
+    """
+    if spec in DSP_PRESETS:
+        return DSP_PRESETS[spec]()
+    parts = spec.lower().split("x")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ReproError(
+            f"bad machine spec {spec!r}; use NxR[xB[xL]] or one of "
+            f"{sorted(DSP_PRESETS)}"
+        ) from None
+    if len(numbers) < 2:
+        raise ReproError(f"bad machine spec {spec!r}")
+    num_clusters, registers = numbers[0], numbers[1]
+    buses = numbers[2] if len(numbers) > 2 else 1
+    latency = numbers[3] if len(numbers) > 3 else 1
+    if num_clusters == 1:
+        return unified(registers)
+    return clustered(num_clusters, registers, buses, latency)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    machine = parse_machine(args.machine)
+    if args.loop_file:
+        loop = load_loop(args.loop_file)
+    else:
+        if args.kernel not in KERNELS:
+            print(f"unknown kernel {args.kernel!r}; available: {sorted(KERNELS)}")
+            return 2
+        loop = KERNELS[args.kernel]()
+    scheduler_cls = SCHEDULERS[args.algorithm]
+    outcome = scheduler_cls(machine).schedule(loop)
+    print(describe(loop))
+    print(f"machine: {machine.describe()}")
+    print()
+    if outcome.is_modulo:
+        schedule = outcome.schedule
+        schedule.validate()
+        print(render_kernel(schedule))
+        print()
+        stats = schedule.stats
+        print(
+            f"II={schedule.ii} stages={schedule.stage_count} "
+            f"IPC={outcome.ipc():.3f} bus={stats.bus_transfers} "
+            f"mem-comms={stats.mem_comms} spills={stats.spills} "
+            f"attempts={stats.ii_attempts}"
+        )
+    else:
+        print(
+            f"modulo scheduling not profitable; list schedule of "
+            f"{outcome.schedule.length} cycles/iteration, IPC={outcome.ipc():.3f}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .eval.export import figure_to_csv, figure_to_json
+    from .eval.figures import figure2_panel, figure3_panel
+
+    suite = spec_suite()[: args.programs] if args.programs else spec_suite()
+    if args.bus_latency == 2:
+        panel = figure3_panel(args.registers, suite=suite)
+    else:
+        panel = figure2_panel(args.clusters, args.registers, suite=suite)
+    if args.format == "csv":
+        print(figure_to_csv(panel), end="")
+    elif args.format == "json":
+        print(figure_to_json(panel))
+    else:
+        print(panel.render())
+        print()
+        print(
+            f"GP over URACAM: {panel.gain_percent('gp', 'uracam'):+.1f}%  "
+            f"GP over Fixed: {panel.gain_percent('gp', 'fixed-partition'):+.1f}%"
+        )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    names = [args.program] if args.program else list(PROGRAM_NAMES)
+    for name in names:
+        benchmark = make_benchmark(name)
+        print(f"{name}:")
+        for loop in benchmark.loops:
+            print(f"  {describe(loop)}")
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    print("Table 1 configurations:")
+    for config in table1_configurations():
+        print(f"  {config.describe()}")
+    print("DSP presets:")
+    for name, factory in sorted(DSP_PRESETS.items()):
+        print(f"  {name}: {factory().describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph-partitioning based instruction scheduling "
+        "for clustered processors (MICRO-34 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sched = sub.add_parser("schedule", help="schedule one loop")
+    p_sched.add_argument("--kernel", default="daxpy",
+                         help=f"built-in kernel ({', '.join(sorted(KERNELS))})")
+    p_sched.add_argument("--loop-file", default=None,
+                         help="JSON loop file (overrides --kernel)")
+    p_sched.add_argument("--machine", default="2x32",
+                         help="NxR[xB[xL]] or c6x/lx/tigersharc")
+    p_sched.add_argument("--algorithm", default="gp",
+                         choices=sorted(SCHEDULERS))
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_eval = sub.add_parser("evaluate", help="run a figure panel")
+    p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
+    p_eval.add_argument("--registers", type=int, default=32, choices=(32, 64))
+    p_eval.add_argument("--bus-latency", type=int, default=1, choices=(1, 2))
+    p_eval.add_argument("--programs", type=int, default=0,
+                        help="limit to the first N programs (0 = all)")
+    p_eval.add_argument("--format", default="table",
+                        choices=("table", "csv", "json"))
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_work = sub.add_parser("workloads", help="describe the synthetic suite")
+    p_work.add_argument("--program", default=None, choices=PROGRAM_NAMES)
+    p_work.set_defaults(func=_cmd_workloads)
+
+    p_mach = sub.add_parser("machines", help="list machine configurations")
+    p_mach.set_defaults(func=_cmd_machines)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

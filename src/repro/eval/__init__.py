@@ -1,0 +1,70 @@
+"""Evaluation harness: metrics, runners, and the paper's figures/tables."""
+
+from .figures import (
+    FigureResult,
+    SERIES_ORDER,
+    Table2Result,
+    ablation_matching,
+    ablation_register_pressure,
+    ablation_two_buses,
+    figure2,
+    figure2_panel,
+    figure3,
+    figure3_panel,
+    table1_report,
+    table2,
+)
+from .export import (
+    benchmark_result_to_dict,
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    suite_result_to_dict,
+    table2_to_csv,
+)
+from .metrics import aggregate_ipc, arithmetic_mean, percent_gain, speedup
+from .report import format_bar_chart, format_table
+from .sweep import SweepResult, bus_latency_sweep, cluster_sweep, register_sweep
+from .runner import (
+    BenchmarkResult,
+    SuiteResult,
+    make_scheduler,
+    run_benchmark,
+    run_suite,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "FigureResult",
+    "SERIES_ORDER",
+    "SweepResult",
+    "SuiteResult",
+    "Table2Result",
+    "ablation_matching",
+    "ablation_register_pressure",
+    "ablation_two_buses",
+    "aggregate_ipc",
+    "bus_latency_sweep",
+    "cluster_sweep",
+    "arithmetic_mean",
+    "benchmark_result_to_dict",
+    "figure2",
+    "figure2_panel",
+    "figure3",
+    "figure3_panel",
+    "figure_to_csv",
+    "figure_to_dict",
+    "figure_to_json",
+    "format_bar_chart",
+    "format_table",
+    "make_scheduler",
+    "percent_gain",
+    "register_sweep",
+    "run_benchmark",
+    "run_suite",
+    "speedup",
+    "suite_result_to_dict",
+    "table1_report",
+    "table2_to_csv",
+    "table2",
+]

@@ -1,0 +1,99 @@
+"""Export of evaluation results to CSV and JSON.
+
+The benchmark harness renders text tables for humans; these helpers emit
+machine-readable versions for plotting or regression tracking.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from .figures import FigureResult, Table2Result
+from .runner import BenchmarkResult, SuiteResult
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """One row per benchmark, one column per scheduler, plus the average."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    labels = list(figure.series)
+    writer.writerow(["benchmark"] + labels)
+    for i, name in enumerate(figure.benchmarks):
+        writer.writerow([name] + [f"{figure.series[l][i]:.4f}" for l in labels])
+    writer.writerow(["AVERAGE"] + [f"{figure.average(l):.4f}" for l in labels])
+    return buffer.getvalue()
+
+
+def figure_to_dict(figure: FigureResult) -> Dict[str, Any]:
+    return {
+        "title": figure.title,
+        "benchmarks": list(figure.benchmarks),
+        "series": {label: list(values) for label, values in figure.series.items()},
+        "averages": {label: figure.average(label) for label in figure.series},
+    }
+
+
+def figure_to_json(figure: FigureResult, indent: int = 2) -> str:
+    return json.dumps(figure_to_dict(figure), indent=indent)
+
+
+def table2_to_csv(table: Table2Result) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    schedulers = sorted(
+        {name for per in table.seconds.values() for name in per}
+    )
+    writer.writerow(["config"] + schedulers)
+    for config in table.configs:
+        writer.writerow(
+            [config]
+            + [f"{table.seconds[config][name]:.6f}" for name in schedulers]
+        )
+    return buffer.getvalue()
+
+
+def suite_result_to_dict(result: SuiteResult) -> Dict[str, Any]:
+    """Full drill-down of one (scheduler, machine) suite run."""
+    return {
+        "scheduler": result.scheduler,
+        "machine": result.machine,
+        "average_ipc": result.average_ipc,
+        "total_cpu_seconds": result.total_cpu_seconds,
+        "benchmarks": {
+            name: benchmark_result_to_dict(bench)
+            for name, bench in result.per_benchmark.items()
+        },
+    }
+
+
+def benchmark_result_to_dict(result: BenchmarkResult) -> Dict[str, Any]:
+    loops = []
+    for outcome in result.outcomes:
+        entry: Dict[str, Any] = {
+            "loop": outcome.loop.name,
+            "ipc": outcome.ipc(),
+            "cycles": outcome.execution_cycles(),
+            "modulo": outcome.is_modulo,
+            "cpu_seconds": outcome.cpu_seconds,
+        }
+        if outcome.is_modulo:
+            schedule = outcome.schedule
+            entry.update(
+                ii=schedule.ii,
+                stages=schedule.stage_count,
+                bus_transfers=schedule.stats.bus_transfers,
+                mem_comms=schedule.stats.mem_comms,
+                spills=schedule.stats.spills,
+                ii_attempts=schedule.stats.ii_attempts,
+            )
+        loops.append(entry)
+    return {
+        "benchmark": result.benchmark,
+        "ipc": result.ipc,
+        "cpu_seconds": result.cpu_seconds,
+        "modulo_fraction": result.modulo_fraction,
+        "loops": loops,
+    }

@@ -1,0 +1,44 @@
+"""Performance metrics (paper §4.1).
+
+IPC is the paper's primary metric: *useful* (original-loop) operations per
+cycle, with prolog and epilog included in the cycle count, aggregated over
+each program's loops weighted naturally by their trip counts — i.e. total
+dynamic operations over total cycles.  IPC is clock-independent; for a
+clustered machine it is an honest comparison against the unified
+configuration because total resources are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def aggregate_ipc(
+    dynamic_operations: Sequence[int], cycles: Sequence[int]
+) -> float:
+    """Suite IPC: total dynamic operations over total cycles."""
+    if len(dynamic_operations) != len(cycles):
+        raise ValueError("mismatched metric vectors")
+    total_cycles = sum(cycles)
+    if total_cycles <= 0:
+        return 0.0
+    return sum(dynamic_operations) / total_cycles
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    data: List[float] = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
+def speedup(new: float, baseline: float) -> float:
+    """Relative improvement of ``new`` over ``baseline`` (1.0 = equal)."""
+    if baseline <= 0:
+        return float("inf") if new > 0 else 1.0
+    return new / baseline
+
+
+def percent_gain(new: float, baseline: float) -> float:
+    """Percentage improvement, e.g. 23.0 for the paper's headline gain."""
+    return (speedup(new, baseline) - 1.0) * 100.0

@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results (figure/table regeneration)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 3
+) -> str:
+    """Render a simple aligned text table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, unit: str = ""
+) -> str:
+    """ASCII bar chart — a stand-in for the paper's IPC bar figures."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Running schedulers over benchmark suites and collecting results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..machine.config import MachineConfig
+from ..schedule.drivers import (
+    SCHEDULERS,
+    BaseScheduler,
+    ScheduleOutcome,
+)
+from ..schedule.engine import EngineOptions
+from ..workloads.spec import Benchmark
+from .metrics import aggregate_ipc
+
+
+def make_scheduler(
+    name: str,
+    machine: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    **kwargs,
+) -> BaseScheduler:
+    """Instantiate a scheduler by name (``unified``/``uracam``/
+    ``fixed-partition``/``gp``)."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(machine, options=options, **kwargs)
+
+
+@dataclass
+class BenchmarkResult:
+    """One (benchmark, scheduler, machine) evaluation."""
+
+    benchmark: str
+    scheduler: str
+    machine: str
+    outcomes: List[ScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return aggregate_ipc(
+            [o.loop.total_dynamic_operations() for o in self.outcomes],
+            [o.execution_cycles() for o in self.outcomes],
+        )
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total scheduling CPU time over the benchmark's loops."""
+        return sum(o.cpu_seconds for o in self.outcomes)
+
+    @property
+    def modulo_fraction(self) -> float:
+        """Loops that got a modulo schedule (vs. the list fallback)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.is_modulo) / len(self.outcomes)
+
+
+def run_benchmark(
+    benchmark: Benchmark, scheduler: BaseScheduler
+) -> BenchmarkResult:
+    """Schedule every loop of ``benchmark`` with ``scheduler``."""
+    result = BenchmarkResult(
+        benchmark=benchmark.name,
+        scheduler=scheduler.name,
+        machine=scheduler.machine.name,
+    )
+    for loop in benchmark.loops:
+        result.outcomes.append(scheduler.schedule(loop))
+    return result
+
+
+@dataclass
+class SuiteResult:
+    """All benchmarks under one (scheduler, machine) pair."""
+
+    scheduler: str
+    machine: str
+    per_benchmark: Dict[str, BenchmarkResult] = field(default_factory=dict)
+
+    @property
+    def average_ipc(self) -> float:
+        values = [r.ipc for r in self.per_benchmark.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return sum(r.cpu_seconds for r in self.per_benchmark.values())
+
+
+def run_suite(
+    suite: Sequence[Benchmark],
+    scheduler: BaseScheduler,
+) -> SuiteResult:
+    """Schedule the whole suite with one scheduler instance."""
+    result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
+    for benchmark in suite:
+        result.per_benchmark[benchmark.name] = run_benchmark(benchmark, scheduler)
+    return result

@@ -1,0 +1,147 @@
+"""Parameter sweeps: where the trade-offs cross over.
+
+The paper evaluates a handful of configuration points (Table 1).  This
+module generalizes the grid so users can ask *where* the interesting
+crossovers fall on their own workloads:
+
+* :func:`register_sweep` — IPC vs. total register count.  Shows where the
+  clustered schemes stop being register-starved and where the GP/URACAM
+  gap opens.
+* :func:`bus_latency_sweep` — IPC vs. inter-cluster latency.  Shows the
+  widening clustering penalty (Figure 2 -> Figure 3 is the paper's two
+  points on this curve).
+* :func:`cluster_sweep` — IPC vs. cluster count at constant total
+  resources (the unified -> 2 -> 4 axis of Table 1).
+
+Each sweep returns a :class:`SweepResult` with per-point averages per
+scheduler, a crossover finder and a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..machine.presets import clustered, unified
+from ..schedule.drivers import (
+    FixedPartitionScheduler,
+    GPScheduler,
+    UnifiedScheduler,
+    UracamScheduler,
+)
+from ..workloads.spec import Benchmark, spec_suite
+from .report import format_table
+from .runner import run_suite
+
+#: Schedulers included in every sweep (unified only where it applies).
+_CLUSTERED_SCHEDULERS = (UracamScheduler, FixedPartitionScheduler, GPScheduler)
+
+
+@dataclass
+class SweepResult:
+    """Average IPC per (sweep point, scheduler)."""
+
+    parameter: str
+    points: List[object]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def crossover(self, a: str, b: str) -> Optional[object]:
+        """First sweep point where scheduler ``a`` overtakes ``b``.
+
+        Returns None if ``a`` never overtakes (or always leads).
+        """
+        led_before = False
+        for point, va, vb in zip(self.points, self.series[a], self.series[b]):
+            if va > vb and led_before:
+                return point
+            led_before = va <= vb or led_before
+            if va > vb and not led_before:
+                return None  # a leads from the start
+        return None
+
+    def gap_percent(self, a: str, b: str) -> List[float]:
+        """Per-point percentage gap of ``a`` over ``b``."""
+        return [
+            (va / vb - 1.0) * 100.0 if vb > 0 else 0.0
+            for va, vb in zip(self.series[a], self.series[b])
+        ]
+
+    def render(self) -> str:
+        headers = [self.parameter] + list(self.series)
+        rows = []
+        for i, point in enumerate(self.points):
+            rows.append([point] + [self.series[label][i] for label in self.series])
+        return format_table(headers, rows)
+
+
+def _average_ipc(suite: Sequence[Benchmark], scheduler) -> float:
+    return run_suite(list(suite), scheduler).average_ipc
+
+
+def register_sweep(
+    register_totals: Sequence[int] = (16, 32, 48, 64, 96),
+    num_clusters: int = 4,
+    suite: Optional[Sequence[Benchmark]] = None,
+) -> SweepResult:
+    """IPC vs. total registers on an ``num_clusters``-cluster machine."""
+    suite = list(suite) if suite is not None else spec_suite()
+    result = SweepResult("registers", list(register_totals))
+    for cls in _CLUSTERED_SCHEDULERS:
+        result.series[cls.name] = []
+    result.series["unified"] = []
+    for total in register_totals:
+        if total % num_clusters:
+            raise ConfigError(
+                f"{total} registers do not divide over {num_clusters} clusters"
+            )
+        machine = clustered(num_clusters, total)
+        for cls in _CLUSTERED_SCHEDULERS:
+            result.series[cls.name].append(_average_ipc(suite, cls(machine)))
+        result.series["unified"].append(
+            _average_ipc(suite, UnifiedScheduler(unified(total)))
+        )
+    return result
+
+
+def bus_latency_sweep(
+    latencies: Sequence[int] = (1, 2, 3, 4),
+    num_clusters: int = 4,
+    total_registers: int = 64,
+    suite: Optional[Sequence[Benchmark]] = None,
+) -> SweepResult:
+    """IPC vs. inter-cluster bus latency (Figures 2 and 3 are points 1, 2)."""
+    suite = list(suite) if suite is not None else spec_suite()
+    result = SweepResult("bus_latency", list(latencies))
+    for cls in _CLUSTERED_SCHEDULERS:
+        result.series[cls.name] = []
+    for latency in latencies:
+        machine = clustered(num_clusters, total_registers, bus_latency=latency)
+        for cls in _CLUSTERED_SCHEDULERS:
+            result.series[cls.name].append(_average_ipc(suite, cls(machine)))
+    return result
+
+
+def cluster_sweep(
+    cluster_counts: Sequence[int] = (1, 2, 4),
+    total_registers: int = 64,
+    suite: Optional[Sequence[Benchmark]] = None,
+) -> SweepResult:
+    """IPC vs. cluster count at constant total resources (the Table 1 axis)."""
+    suite = list(suite) if suite is not None else spec_suite()
+    result = SweepResult("clusters", list(cluster_counts))
+    result.series["gp"] = []
+    result.series["uracam"] = []
+    for count in cluster_counts:
+        if count == 1:
+            machine = unified(total_registers)
+            ipc = _average_ipc(suite, UnifiedScheduler(machine))
+            result.series["gp"].append(ipc)
+            result.series["uracam"].append(ipc)
+            continue
+        machine = clustered(count, total_registers)
+        result.series["gp"].append(_average_ipc(suite, GPScheduler(machine)))
+        result.series["uracam"].append(
+            _average_ipc(suite, UracamScheduler(machine))
+        )
+    return result

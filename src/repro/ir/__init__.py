@@ -1,0 +1,49 @@
+"""Intermediate representation: operations, dependence graphs, loops."""
+
+from .analysis import (
+    LoopAnalysis,
+    analyze,
+    effective_length,
+    max_edge_slack,
+    rec_mii,
+    strongly_connected_components,
+)
+from .builder import LoopBuilder
+from .ddg import DataDependenceGraph, Dependence, DepKind
+from .loop import Loop
+from .opcodes import OPCODES, OpClass, Opcode, opcode
+from .operation import Operation
+from .serialize import dumps, load, loads, loop_from_dict, loop_to_dict, save
+from .stats import GraphStats, describe, graph_stats
+from .transform import remove_dead_operations, renumber, unroll
+
+__all__ = [
+    "DataDependenceGraph",
+    "Dependence",
+    "DepKind",
+    "Loop",
+    "LoopAnalysis",
+    "LoopBuilder",
+    "OPCODES",
+    "OpClass",
+    "Opcode",
+    "Operation",
+    "GraphStats",
+    "analyze",
+    "describe",
+    "dumps",
+    "effective_length",
+    "max_edge_slack",
+    "graph_stats",
+    "load",
+    "loads",
+    "loop_from_dict",
+    "loop_to_dict",
+    "opcode",
+    "rec_mii",
+    "remove_dead_operations",
+    "renumber",
+    "save",
+    "strongly_connected_components",
+    "unroll",
+]

@@ -1,0 +1,100 @@
+"""A small fluent builder for constructing loop DDGs by hand.
+
+Used throughout the tests, the example programs and the hand-written kernel
+workloads.  Operands are producer :class:`~repro.ir.operation.Operation`
+objects; loop-invariant inputs (constants, values computed outside the loop)
+are simply not represented — an operation with no operands reads only
+invariant inputs.
+
+Example::
+
+    b = LoopBuilder("daxpy", trip_count=1000)
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    ax = b.op("fmul", x, name="a*x")
+    s = b.op("fadd", ax, y, name="a*x+y")
+    b.store(s, "y[i]")
+    loop = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ddg import DataDependenceGraph, DepKind
+from .loop import Loop
+from .opcodes import OPCODES, Opcode
+from .operation import Operation
+
+
+class LoopBuilder:
+    """Incrementally build a :class:`~repro.ir.loop.Loop`."""
+
+    def __init__(self, name: str, trip_count: int = 100) -> None:
+        self._ddg = DataDependenceGraph(name)
+        self._trip_count = trip_count
+
+    # ------------------------------------------------------------------
+    def op(
+        self,
+        opcode: "str | Opcode",
+        *operands: Operation,
+        name: str = "",
+        latency: Optional[int] = None,
+    ) -> Operation:
+        """Add an operation consuming the values of ``operands``.
+
+        Args:
+            opcode: Built-in opcode name (see :mod:`repro.ir.opcodes`) or an
+                :class:`Opcode` instance.
+            operands: Producer operations whose results this op reads.
+            name: Optional label.
+            latency: Override the dependence latency from each operand
+                (defaults to each operand's own latency).
+        """
+        oc = OPCODES[opcode] if isinstance(opcode, str) else opcode
+        node = self._ddg.add_operation(oc, name)
+        for producer in operands:
+            self._ddg.add_dependence(producer, node, latency=latency)
+        return node
+
+    def load(self, name: str = "") -> Operation:
+        """Add a load operation (reads only loop-invariant address inputs)."""
+        return self.op("load", name=name)
+
+    def store(self, value: Operation, name: str = "") -> Operation:
+        """Add a store of ``value`` to memory."""
+        return self.op("store", value, name=name)
+
+    def recurrence(
+        self,
+        src: Operation,
+        dst: Operation,
+        distance: int = 1,
+        latency: Optional[int] = None,
+    ) -> None:
+        """Add a loop-carried DATA dependence ``src -> dst``.
+
+        Typical use: the value computed at the end of iteration *i* feeds an
+        operation of iteration *i + distance*.
+        """
+        self._ddg.add_dependence(src, dst, latency=latency, distance=distance)
+
+    def memory_order(
+        self, first: Operation, second: Operation, distance: int = 0
+    ) -> None:
+        """Add a memory-ordering (non-value) edge ``first -> second``."""
+        self._ddg.add_dependence(
+            first, second, latency=1, distance=distance, kind=DepKind.MEM
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def ddg(self) -> DataDependenceGraph:
+        """The graph under construction (also usable directly)."""
+        return self._ddg
+
+    def build(self, trip_count: Optional[int] = None) -> Loop:
+        """Validate the graph and return the finished loop."""
+        self._ddg.validate()
+        return Loop(self._ddg, trip_count or self._trip_count)

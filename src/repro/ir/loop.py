@@ -1,0 +1,45 @@
+"""Loops: a data dependence graph plus profile information.
+
+The paper schedules innermost loops; the only profile information its
+algorithms consume is the loop's iteration count (``niter``), obtained
+through profiling, which enters the partitioner's ``delay(e)`` formula and
+the IPC metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ddg import DataDependenceGraph
+
+
+@dataclass
+class Loop:
+    """An innermost loop to be modulo scheduled.
+
+    Attributes:
+        ddg: Body data dependence graph.
+        trip_count: Profiled number of iterations (``niter``), >= 1.
+        name: Loop label; defaults to the DDG name.
+    """
+
+    ddg: DataDependenceGraph
+    trip_count: int
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise ValueError(f"loop {self.name or self.ddg.name!r}: trip_count must be >= 1")
+        if not self.name:
+            self.name = self.ddg.name
+
+    @property
+    def num_operations(self) -> int:
+        return self.ddg.num_operations
+
+    def total_dynamic_operations(self) -> int:
+        """Operations executed by a full run of the loop."""
+        return self.num_operations * self.trip_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Loop({self.name!r}, ops={self.num_operations}, niter={self.trip_count})"

@@ -1,0 +1,62 @@
+"""Operations: the nodes of a data dependence graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .opcodes import OpClass, Opcode
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single machine operation in a loop body.
+
+    Operations are identified by an integer ``uid`` that is unique within
+    their :class:`~repro.ir.ddg.DataDependenceGraph`.  Equality and hashing
+    use the uid only, so an operation can be used as a dictionary key while
+    carrying mutable-free descriptive payload.
+
+    Attributes:
+        uid: Unique id within the owning graph.
+        opcode: The operation kind (determines FU class and latency).
+        name: Optional human-readable label (defaults to ``"op<uid>"``).
+    """
+
+    uid: int
+    opcode: Opcode
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"op{self.uid}")
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional-unit class this operation executes on."""
+        return self.opcode.op_class
+
+    @property
+    def latency(self) -> int:
+        """Cycles until this operation's result may be consumed."""
+        return self.opcode.latency
+
+    @property
+    def is_store(self) -> bool:
+        """True if the operation writes memory and produces no register value."""
+        return self.opcode.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        """True if the operation uses a memory port."""
+        return self.op_class is OpClass.MEM
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operation({self.uid}, {self.opcode.name}, {self.name!r})"

@@ -1,0 +1,123 @@
+"""JSON (de)serialization of loops and dependence graphs.
+
+Lets users persist generated workloads, exchange loop bodies between tools,
+and pin exact test fixtures.  The format is a plain dictionary:
+
+.. code-block:: json
+
+    {
+      "name": "daxpy",
+      "trip_count": 1000,
+      "operations": [{"uid": 0, "opcode": "load", "name": "x[i]"}, ...],
+      "dependences": [
+          {"src": 0, "dst": 2, "latency": 2, "distance": 0, "kind": "data"},
+          ...
+      ]
+    }
+
+Custom opcodes (not in :data:`repro.ir.opcodes.OPCODES`) are inlined with
+their class/latency so round-trips never lose information.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import GraphError
+from .ddg import DataDependenceGraph, DepKind
+from .loop import Loop
+from .opcodes import OPCODES, OpClass, Opcode
+
+
+def loop_to_dict(loop: Loop) -> Dict[str, Any]:
+    """Serialize a loop to a JSON-compatible dictionary."""
+    ddg = loop.ddg
+    operations = []
+    for op in ddg.operations():
+        entry: Dict[str, Any] = {
+            "uid": op.uid,
+            "opcode": op.opcode.name,
+            "name": op.name,
+        }
+        if op.opcode.name not in OPCODES:
+            entry["op_class"] = op.opcode.op_class.value
+            entry["latency"] = op.opcode.latency
+            entry["is_store"] = op.opcode.is_store
+        operations.append(entry)
+    dependences = [
+        {
+            "src": dep.src,
+            "dst": dep.dst,
+            "latency": dep.latency,
+            "distance": dep.distance,
+            "kind": dep.kind.value,
+        }
+        for dep in ddg.edges()
+    ]
+    return {
+        "name": loop.name,
+        "trip_count": loop.trip_count,
+        "operations": operations,
+        "dependences": dependences,
+    }
+
+
+def loop_from_dict(data: Dict[str, Any]) -> Loop:
+    """Rebuild a loop from :func:`loop_to_dict` output.
+
+    Raises:
+        GraphError: if uids are not dense/ascending or references dangle.
+    """
+    ddg = DataDependenceGraph(data.get("name", "loop"))
+    ops_sorted = sorted(data["operations"], key=lambda e: e["uid"])
+    for expected, entry in enumerate(ops_sorted):
+        if entry["uid"] != expected:
+            raise GraphError(
+                f"serialized uids must be dense from 0; got {entry['uid']} "
+                f"at position {expected}"
+            )
+        name = entry["opcode"]
+        if name in OPCODES:
+            opcode = OPCODES[name]
+        else:
+            opcode = Opcode(
+                name,
+                OpClass(entry["op_class"]),
+                entry["latency"],
+                entry.get("is_store", False),
+            )
+        ddg.add_operation(opcode, entry.get("name", ""))
+
+    for entry in data["dependences"]:
+        ddg.add_dependence(
+            ddg.operation(entry["src"]),
+            ddg.operation(entry["dst"]),
+            latency=entry["latency"],
+            distance=entry.get("distance", 0),
+            kind=DepKind(entry.get("kind", "data")),
+        )
+    ddg.validate()
+    return Loop(ddg, trip_count=data.get("trip_count", 1), name=ddg.name)
+
+
+def dumps(loop: Loop, indent: int = 2) -> str:
+    """Serialize a loop to a JSON string."""
+    return json.dumps(loop_to_dict(loop), indent=indent)
+
+
+def loads(text: str) -> Loop:
+    """Parse a loop from a JSON string."""
+    return loop_from_dict(json.loads(text))
+
+
+def save(loop: Loop, path: str) -> None:
+    """Write a loop to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(loop))
+
+
+def load(path: str) -> Loop:
+    """Read a loop from a JSON file."""
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,144 @@
+"""Loop transformations on dependence graphs.
+
+The paper's related work (Sánchez & González, ICPP'00) studies **loop
+unrolling** as a lever for modulo scheduling on clustered VLIWs: unrolling
+by ``U`` replicates the body, turning one iteration's recurrence span into
+``U`` iterations' worth of work and exposing more parallelism per kernel
+iteration — at the cost of register pressure and code size.  This module
+implements dependence-correct unrolling plus a couple of classic cleanup
+passes used by the workload generators and the examples.
+
+Unrolling semantics: operation ``op`` of the original body becomes copies
+``op@0 .. op@U-1``.  A dependence ``u -> v`` with iteration distance ``d``
+connects copy ``i`` of ``u`` to copy ``(i + d) mod U`` of ``v``, with new
+distance ``(i + d) // U`` — the standard index arithmetic that preserves
+the exact dependence structure of the rolled loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..errors import GraphError
+from .ddg import DataDependenceGraph
+from .loop import Loop
+from .operation import Operation
+
+
+def unroll(loop: Loop, factor: int) -> Loop:
+    """Unroll ``loop`` by ``factor``; trip count shrinks accordingly.
+
+    Args:
+        loop: The rolled loop.
+        factor: Unroll factor ``U >= 1`` (1 returns a fresh copy).
+
+    Returns:
+        A new loop whose body has ``U x`` the operations and whose trip
+        count is ``ceil(original / U)``.
+
+    Raises:
+        GraphError: if ``factor < 1``.
+    """
+    if factor < 1:
+        raise GraphError(f"unroll factor must be >= 1, got {factor}")
+
+    ddg = loop.ddg
+    unrolled = DataDependenceGraph(f"{ddg.name}_u{factor}")
+    copies: Dict[Tuple[int, int], Operation] = {}
+    for copy in range(factor):
+        for op in ddg.operations():
+            copies[(op.uid, copy)] = unrolled.add_operation(
+                op.opcode, f"{op.name}@{copy}"
+            )
+
+    for dep in ddg.edges():
+        for copy in range(factor):
+            target_copy = (copy + dep.distance) % factor
+            new_distance = (copy + dep.distance) // factor
+            unrolled.add_dependence(
+                copies[(dep.src, copy)],
+                copies[(dep.dst, target_copy)],
+                latency=dep.latency,
+                distance=new_distance,
+                kind=dep.kind,
+            )
+
+    unrolled.validate()
+    return Loop(
+        unrolled,
+        trip_count=max(1, math.ceil(loop.trip_count / factor)),
+        name=unrolled.name,
+    )
+
+
+def remove_dead_operations(loop: Loop) -> Loop:
+    """Drop operations whose results are never used and have no side effect.
+
+    Stores (and any operation reachable backwards from a store or from an
+    operation with a loop-carried self-use) are roots; everything not
+    feeding a root transitively is dead.  Useful for cleaning generated
+    workloads.
+    """
+    ddg = loop.ddg
+    roots = [op.uid for op in ddg.operations() if op.is_store]
+    # Operations participating in recurrences observable across iterations
+    # are conservatively kept as roots too.
+    for dep in ddg.edges():
+        if dep.distance > 0:
+            roots.append(dep.src)
+            roots.append(dep.dst)
+
+    live = set(roots)
+    stack = list(roots)
+    while stack:
+        uid = stack.pop()
+        for pred in ddg.predecessors(uid):
+            if pred not in live:
+                live.add(pred)
+                stack.append(pred)
+
+    if len(live) == ddg.num_operations:
+        return loop
+
+    pruned = DataDependenceGraph(ddg.name)
+    mapping: Dict[int, Operation] = {}
+    for op in ddg.operations():
+        if op.uid in live:
+            mapping[op.uid] = pruned.add_operation(op.opcode, op.name)
+    for dep in ddg.edges():
+        if dep.src in live and dep.dst in live:
+            pruned.add_dependence(
+                mapping[dep.src],
+                mapping[dep.dst],
+                latency=dep.latency,
+                distance=dep.distance,
+                kind=dep.kind,
+            )
+    pruned.validate()
+    return Loop(pruned, trip_count=loop.trip_count, name=loop.name)
+
+
+def renumber(loop: Loop) -> Loop:
+    """Rebuild the loop with dense uids in topological order.
+
+    Deterministic normal form: useful after transformation pipelines and
+    for comparing graphs structurally in tests.
+    """
+    ddg = loop.ddg
+    order = ddg.topological_order()
+    rebuilt = DataDependenceGraph(ddg.name)
+    mapping: Dict[int, Operation] = {}
+    for uid in order:
+        op = ddg.operation(uid)
+        mapping[uid] = rebuilt.add_operation(op.opcode, op.name)
+    for dep in ddg.edges():
+        rebuilt.add_dependence(
+            mapping[dep.src],
+            mapping[dep.dst],
+            latency=dep.latency,
+            distance=dep.distance,
+            kind=dep.kind,
+        )
+    rebuilt.validate()
+    return Loop(rebuilt, trip_count=loop.trip_count, name=loop.name)

@@ -1,0 +1,34 @@
+"""Clustered VLIW machine model."""
+
+from .config import ClusterConfig, MachineConfig, homogeneous_machine
+from .dsp import DSP_PRESETS, lx_like, tigersharc_like, tms320c6x_like
+from .presets import (
+    REGISTER_TOTALS,
+    TOTAL_UNITS_PER_CLASS,
+    clustered,
+    four_cluster,
+    table1_configurations,
+    two_cluster,
+    unified,
+)
+from .resources import FU_KINDS, ResourceKind, unit_for
+
+__all__ = [
+    "DSP_PRESETS",
+    "FU_KINDS",
+    "ClusterConfig",
+    "MachineConfig",
+    "REGISTER_TOTALS",
+    "ResourceKind",
+    "TOTAL_UNITS_PER_CLASS",
+    "clustered",
+    "four_cluster",
+    "homogeneous_machine",
+    "lx_like",
+    "tigersharc_like",
+    "tms320c6x_like",
+    "table1_configurations",
+    "two_cluster",
+    "unified",
+    "unit_for",
+]

@@ -1,0 +1,170 @@
+"""Machine configuration for clustered VLIW processors.
+
+A :class:`MachineConfig` describes the whole processor: a list of identical
+or heterogeneous :class:`ClusterConfig` entries, plus the inter-cluster
+interconnect (number of buses and their latency).  The paper's machines
+(Table 1) are homogeneous 12-issue processors whose resources are divided
+evenly among clusters; :mod:`repro.machine.presets` builds those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..ir.opcodes import OpClass
+from .resources import FU_KINDS, ResourceKind, unit_for
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Resources of a single cluster.
+
+    Attributes:
+        int_units: Integer functional units.
+        fp_units: Floating-point functional units.
+        mem_units: Memory units (each is one memory port).
+        registers: Size of the cluster's register file.
+    """
+
+    int_units: int
+    fp_units: int
+    mem_units: int
+    registers: int
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("int_units", self.int_units),
+            ("fp_units", self.fp_units),
+            ("mem_units", self.mem_units),
+        ):
+            if value < 0:
+                raise ConfigError(f"{label} must be >= 0, got {value}")
+        if self.registers < 1:
+            raise ConfigError(f"registers must be >= 1, got {self.registers}")
+
+    def units_of(self, kind: ResourceKind) -> int:
+        """Number of functional units of the given kind in this cluster."""
+        return {
+            ResourceKind.INT_UNIT: self.int_units,
+            ResourceKind.FP_UNIT: self.fp_units,
+            ResourceKind.MEM_PORT: self.mem_units,
+        }[kind]
+
+    def units_for_class(self, op_class: OpClass) -> int:
+        """Functional units available for an operation class."""
+        return self.units_of(unit_for(op_class))
+
+    @property
+    def issue_width(self) -> int:
+        """Operations this cluster can issue per cycle."""
+        return self.int_units + self.fp_units + self.mem_units
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete clustered VLIW machine.
+
+    Attributes:
+        name: Human-readable configuration name (e.g. ``"2-cluster"``).
+        clusters: Per-cluster resources.
+        num_buses: Inter-cluster buses (irrelevant for a single cluster).
+        bus_latency: Cycles for one value transfer; the bus is non-pipelined,
+            so a transfer occupies its bus for ``bus_latency`` cycles.
+    """
+
+    name: str
+    clusters: Tuple[ClusterConfig, ...]
+    num_buses: int = 1
+    bus_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ConfigError("a machine needs at least one cluster")
+        if self.num_clusters > 1 and self.num_buses < 1:
+            raise ConfigError("a clustered machine needs at least one bus")
+        if self.bus_latency < 1:
+            raise ConfigError("bus latency must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def is_clustered(self) -> bool:
+        return self.num_clusters > 1
+
+    @property
+    def issue_width(self) -> int:
+        """Total operations issuable per cycle across all clusters."""
+        return sum(c.issue_width for c in self.clusters)
+
+    @property
+    def total_registers(self) -> int:
+        return sum(c.registers for c in self.clusters)
+
+    def cluster(self, index: int) -> ClusterConfig:
+        """The cluster at ``index``; raises ConfigError if out of range."""
+        if not 0 <= index < self.num_clusters:
+            raise ConfigError(
+                f"cluster index {index} out of range for {self.name!r} "
+                f"({self.num_clusters} clusters)"
+            )
+        return self.clusters[index]
+
+    def total_units_for_class(self, op_class: OpClass) -> int:
+        """Machine-wide functional units for an operation class."""
+        return sum(c.units_for_class(op_class) for c in self.clusters)
+
+    def units_table(self) -> Dict[ResourceKind, Tuple[int, ...]]:
+        """Per-kind tuple of unit counts, indexed by cluster."""
+        return {
+            kind: tuple(c.units_of(kind) for c in self.clusters)
+            for kind in FU_KINDS
+        }
+
+    def describe(self) -> str:
+        """One-line summary, e.g. for the Table 1 report."""
+        c0 = self.clusters[0]
+        homo = all(c == c0 for c in self.clusters)
+        cluster_desc = (
+            f"{self.num_clusters} x (INT={c0.int_units}, FP={c0.fp_units}, "
+            f"MEM={c0.mem_units}, regs={c0.registers})"
+            if homo
+            else f"{self.num_clusters} heterogeneous clusters"
+        )
+        bus_desc = (
+            "no inter-cluster bus"
+            if not self.is_clustered
+            else f"{self.num_buses} bus(es), latency {self.bus_latency}"
+        )
+        return f"{self.name}: {cluster_desc}; {bus_desc}"
+
+
+def homogeneous_machine(
+    name: str,
+    num_clusters: int,
+    int_units: int,
+    fp_units: int,
+    mem_units: int,
+    registers_per_cluster: int,
+    num_buses: int = 1,
+    bus_latency: int = 1,
+) -> MachineConfig:
+    """Build a machine whose clusters are all identical."""
+    if num_clusters < 1:
+        raise ConfigError("num_clusters must be >= 1")
+    cluster = ClusterConfig(
+        int_units=int_units,
+        fp_units=fp_units,
+        mem_units=mem_units,
+        registers=registers_per_cluster,
+    )
+    return MachineConfig(
+        name=name,
+        clusters=tuple([cluster] * num_clusters),
+        num_buses=num_buses,
+        bus_latency=bus_latency,
+    )

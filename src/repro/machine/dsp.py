@@ -1,0 +1,66 @@
+"""Machine presets modelled on the clustered DSPs the paper motivates.
+
+The paper's introduction cites the clustered VLIW DSPs of its era — the
+Texas Instruments TMS320C6x, Analog Devices TigerSharc, Equator MAP1000,
+HP/ST Lx and BOPS ManArray.  These presets capture their *cluster shapes*
+(not their exact ISAs): the C6x's two 4-issue clusters with a single
+cross-path, the Lx's four symmetric lanes, and a TigerSharc-like pair of
+wide compute blocks.  They are useful for exercising the schedulers on
+asymmetric or narrower machines than the paper's 12-issue research
+configurations.
+"""
+
+from __future__ import annotations
+
+from .config import ClusterConfig, MachineConfig
+
+
+def tms320c6x_like(registers_per_cluster: int = 16) -> MachineConfig:
+    """Two 4-issue clusters (A/B register files), one 1-cycle cross path.
+
+    The C6x datapath has two clusters of four units; we model each as
+    2 INT + 1 FP + 1 MEM with a single inter-cluster path.
+    """
+    cluster = ClusterConfig(
+        int_units=2, fp_units=1, mem_units=1, registers=registers_per_cluster
+    )
+    return MachineConfig(
+        name=f"c6x-like-{registers_per_cluster}r",
+        clusters=(cluster, cluster),
+        num_buses=1,
+        bus_latency=1,
+    )
+
+
+def lx_like(registers_per_cluster: int = 16) -> MachineConfig:
+    """Four symmetric 4-issue lanes with a shared 2-cycle interconnect."""
+    cluster = ClusterConfig(
+        int_units=2, fp_units=1, mem_units=1, registers=registers_per_cluster
+    )
+    return MachineConfig(
+        name=f"lx-like-{registers_per_cluster}r",
+        clusters=(cluster,) * 4,
+        num_buses=1,
+        bus_latency=2,
+    )
+
+
+def tigersharc_like(registers_per_cluster: int = 32) -> MachineConfig:
+    """Two wide compute blocks with dual inter-block buses."""
+    cluster = ClusterConfig(
+        int_units=2, fp_units=2, mem_units=2, registers=registers_per_cluster
+    )
+    return MachineConfig(
+        name=f"tigersharc-like-{registers_per_cluster}r",
+        clusters=(cluster, cluster),
+        num_buses=2,
+        bus_latency=1,
+    )
+
+
+#: All DSP-flavoured presets by name.
+DSP_PRESETS = {
+    "c6x": tms320c6x_like,
+    "lx": lx_like,
+    "tigersharc": tigersharc_like,
+}

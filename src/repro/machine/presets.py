@@ -1,0 +1,108 @@
+"""The paper's machine configurations (Table 1).
+
+All configurations are 12-issue with the same total resources — four
+functional units of each class (integer, floating point, memory) — divided
+evenly among the clusters:
+
+* **unified**: 1 cluster, 4 FUs of each class, a single register file.
+* **2-cluster**: 2 FUs of each class and half the registers per cluster.
+* **4-cluster**: 1 FU of each class and a quarter of the registers per
+  cluster.
+
+The evaluation varies the total register count (32 or 64), the bus latency
+(1 or 2 cycles) and, for one ablation, the number of buses (1 or 2).  The
+memory hierarchy is shared and perfect (every access hits), which the
+scheduler models by using fixed load/store latencies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from .config import MachineConfig, homogeneous_machine
+
+#: Total functional units of each class across the machine (Table 1).
+TOTAL_UNITS_PER_CLASS = 4
+
+#: Register-file totals evaluated in the paper.
+REGISTER_TOTALS = (32, 64)
+
+
+def unified(total_registers: int = 64) -> MachineConfig:
+    """The unified (1-cluster) baseline configuration."""
+    return homogeneous_machine(
+        name=f"unified-{total_registers}r",
+        num_clusters=1,
+        int_units=TOTAL_UNITS_PER_CLASS,
+        fp_units=TOTAL_UNITS_PER_CLASS,
+        mem_units=TOTAL_UNITS_PER_CLASS,
+        registers_per_cluster=total_registers,
+    )
+
+
+def clustered(
+    num_clusters: int,
+    total_registers: int = 64,
+    num_buses: int = 1,
+    bus_latency: int = 1,
+) -> MachineConfig:
+    """A Table 1 clustered configuration (2 or 4 clusters).
+
+    Total resources stay constant: each cluster gets
+    ``4 / num_clusters`` units of every class and
+    ``total_registers / num_clusters`` registers.
+
+    Raises:
+        ConfigError: if the resources do not divide evenly.
+    """
+    if TOTAL_UNITS_PER_CLASS % num_clusters:
+        raise ConfigError(
+            f"{num_clusters} clusters do not evenly divide "
+            f"{TOTAL_UNITS_PER_CLASS} units per class"
+        )
+    if total_registers % num_clusters:
+        raise ConfigError(
+            f"{num_clusters} clusters do not evenly divide {total_registers} registers"
+        )
+    per = TOTAL_UNITS_PER_CLASS // num_clusters
+    return homogeneous_machine(
+        name=(
+            f"{num_clusters}-cluster-{total_registers}r-"
+            f"{num_buses}bus-lat{bus_latency}"
+        ),
+        num_clusters=num_clusters,
+        int_units=per,
+        fp_units=per,
+        mem_units=per,
+        registers_per_cluster=total_registers // num_clusters,
+        num_buses=num_buses,
+        bus_latency=bus_latency,
+    )
+
+
+def two_cluster(
+    total_registers: int = 64, num_buses: int = 1, bus_latency: int = 1
+) -> MachineConfig:
+    """The 2-cluster configuration of Table 1."""
+    return clustered(2, total_registers, num_buses, bus_latency)
+
+
+def four_cluster(
+    total_registers: int = 64, num_buses: int = 1, bus_latency: int = 1
+) -> MachineConfig:
+    """The 4-cluster configuration of Table 1."""
+    return clustered(4, total_registers, num_buses, bus_latency)
+
+
+def table1_configurations() -> List[MachineConfig]:
+    """Every configuration evaluated in the paper's main figures."""
+    configs: List[MachineConfig] = []
+    for regs in REGISTER_TOTALS:
+        configs.append(unified(regs))
+    for regs in REGISTER_TOTALS:
+        configs.append(two_cluster(regs, bus_latency=1))
+        configs.append(four_cluster(regs, bus_latency=1))
+    for regs in REGISTER_TOTALS:
+        configs.append(four_cluster(regs, bus_latency=2))
+    return configs

@@ -1,0 +1,44 @@
+"""Resource kinds of the clustered VLIW machine model.
+
+Per-cluster resources are functional units of each
+:class:`~repro.ir.opcodes.OpClass` (the memory units double as memory ports,
+as in the paper's configurations) and a register file.  The inter-cluster
+interconnect is one or more buses shared by all clusters; a bus transfer of
+latency ``L`` occupies its bus for ``L`` consecutive cycles because the paper
+assumes a *non-pipelined* bus.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..ir.opcodes import OpClass
+
+
+class ResourceKind(enum.Enum):
+    """Every schedulable resource class in the machine."""
+
+    INT_UNIT = "int_unit"
+    FP_UNIT = "fp_unit"
+    MEM_PORT = "mem_port"
+    BUS = "bus"
+    REGISTER = "register"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Functional-unit resource used by each operation class.
+UNIT_FOR_CLASS = {
+    OpClass.INT: ResourceKind.INT_UNIT,
+    OpClass.FP: ResourceKind.FP_UNIT,
+    OpClass.MEM: ResourceKind.MEM_PORT,
+}
+
+#: The per-cluster functional-unit kinds, in a stable order.
+FU_KINDS = (ResourceKind.INT_UNIT, ResourceKind.FP_UNIT, ResourceKind.MEM_PORT)
+
+
+def unit_for(op_class: OpClass) -> ResourceKind:
+    """The functional-unit resource an operation class executes on."""
+    return UNIT_FOR_CLASS[op_class]

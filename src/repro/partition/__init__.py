@@ -1,0 +1,41 @@
+"""Multilevel graph partitioning for cluster assignment (the paper's core)."""
+
+from .coarsen import Hierarchy, build_hierarchy
+from .estimator import (
+    PartitionEstimate,
+    PartitionEstimator,
+    count_communications,
+    cut_data_edges,
+    ii_bus_bound,
+)
+from .matching import MATCHERS, exact_matching, greedy_matching, matching_weight
+from .partitioner import MultilevelPartitioner, Partition, trivial_partition
+from .pressure import PressureAwareEstimator, estimate_register_pressure
+from .refine import Refiner
+from .visual import hierarchy_summary, partition_summary, partition_to_dot
+from .weights import EdgeWeighting, compute_edge_weights
+
+__all__ = [
+    "EdgeWeighting",
+    "Hierarchy",
+    "MATCHERS",
+    "MultilevelPartitioner",
+    "Partition",
+    "PartitionEstimate",
+    "PartitionEstimator",
+    "PressureAwareEstimator",
+    "Refiner",
+    "build_hierarchy",
+    "compute_edge_weights",
+    "count_communications",
+    "cut_data_edges",
+    "estimate_register_pressure",
+    "exact_matching",
+    "greedy_matching",
+    "hierarchy_summary",
+    "ii_bus_bound",
+    "matching_weight",
+    "partition_summary",
+    "partition_to_dot",
+    "trivial_partition",
+]

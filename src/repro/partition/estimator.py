@@ -1,0 +1,302 @@
+"""Execution-time estimation of a cluster assignment (paper §3.2.2).
+
+The refinement phase never schedules instructions; it prices a candidate
+partition on a *hypothetical machine*: the actual functional units, memory
+ports and inter-cluster bus, but unlimited registers and no scheduling
+conflicts.  The estimate for a software-pipelined loop is::
+
+    exec_time = (niter - 1) * II_est + critical_path
+
+where ``II_est`` is the largest of
+
+* the initiation interval the partition was requested for,
+* ``IIbus = ceil(NComm * LatBus / NBus)`` — the bus bound of §3.1,
+* each cluster's resource-constrained MII given the operations assigned to
+  it, and
+* the recurrence MII of the graph *with bus delays on cut edges* (a cut
+  edge inside a recurrence stretches that recurrence),
+
+and ``critical_path`` is the longest effective path where every cut DATA
+edge is lengthened by the bus latency.
+
+Communications are counted point-to-point: one bus transfer per (value,
+remote consumer cluster) pair, matching what the scheduler will later
+place.
+
+The estimator is the refinement loop's inner cost function, called once per
+candidate move, so everything graph-shaped (edge tuples, topological order,
+operation classes) is precomputed at construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import PartitionError
+from ..ir.analysis import analyze
+from ..ir.ddg import DataDependenceGraph, Dependence
+from ..ir.loop import Loop
+from ..ir.opcodes import OpClass
+from ..machine.config import MachineConfig
+
+#: Cluster assignment: operation uid -> cluster index.
+Assignment = Mapping[int, int]
+
+_INFEASIBLE_II = 10**6
+
+#: Index of each operation class, for compact per-cluster count arrays.
+_CLASS_INDEX = {cls: i for i, cls in enumerate(OpClass)}
+
+
+def cut_data_edges(ddg: DataDependenceGraph, assignment: Assignment) -> List[Dependence]:
+    """DATA edges whose endpoints are assigned to different clusters."""
+    return [
+        dep
+        for dep in ddg.edges()
+        if dep.carries_value and assignment[dep.src] != assignment[dep.dst]
+    ]
+
+
+def count_communications(ddg: DataDependenceGraph, assignment: Assignment) -> int:
+    """Bus transfers required: distinct (producer, remote cluster) pairs."""
+    pairs = set()
+    for dep in ddg.edges():
+        if dep.carries_value and assignment[dep.src] != assignment[dep.dst]:
+            pairs.add((dep.src, assignment[dep.dst]))
+    return len(pairs)
+
+
+def ii_bus_bound(ncomm: int, machine: MachineConfig) -> int:
+    """The paper's ``IIbus``: cycles needed to ship all transfers."""
+    if not machine.is_clustered or ncomm == 0:
+        return 0
+    return math.ceil(ncomm * machine.bus_latency / machine.num_buses)
+
+
+def cluster_res_mii(
+    ddg: DataDependenceGraph, assignment: Assignment, machine: MachineConfig
+) -> int:
+    """Max over clusters of the resource-constrained MII of its operations.
+
+    A cluster holding operations of a class it has no units for makes the
+    partition infeasible; a prohibitively large II is returned so the
+    refinement heuristics steer away from it.
+    """
+    counts: Dict[Tuple[int, OpClass], int] = {}
+    for uid in ddg.uids():
+        op = ddg.operation(uid)
+        key = (assignment[uid], op.op_class)
+        counts[key] = counts.get(key, 0) + 1
+    worst = 1
+    for (cluster_idx, op_class), count in counts.items():
+        units = machine.cluster(cluster_idx).units_for_class(op_class)
+        if units == 0:
+            return _INFEASIBLE_II
+        worst = max(worst, math.ceil(count / units))
+    return worst
+
+
+@dataclass(frozen=True)
+class PartitionEstimate:
+    """Outcome of pricing a partition.
+
+    Attributes:
+        exec_time: Estimated loop execution time in cycles.
+        ii_est: Initiation interval the estimate assumes.
+        ii_bus: Bus-imposed II bound of the partition.
+        ncomm: Number of point-to-point bus transfers.
+        cut_edges: Number of DATA edges crossing clusters.
+        critical_path: Makespan with bus delays on cut edges.
+    """
+
+    exec_time: int
+    ii_est: int
+    ii_bus: int
+    ncomm: int
+    cut_edges: int
+    critical_path: int
+
+
+class PartitionEstimator:
+    """Prices cluster assignments for one loop at one initiation interval."""
+
+    def __init__(self, loop: Loop, machine: MachineConfig, ii: int) -> None:
+        self.loop = loop
+        self.machine = machine
+        self.ii = ii
+        self._ddg = loop.ddg
+        self._analysis = analyze(loop.ddg, ii)
+        self._uids = loop.ddg.uids()
+        # Compact per-edge tuples: (src, dst, latency, distance, carries).
+        self._edges: List[Tuple[int, int, int, int, bool]] = [
+            (dep.src, dep.dst, dep.latency, dep.distance, dep.carries_value)
+            for dep in loop.ddg.edges()
+        ]
+        position = {uid: i for i, uid in enumerate(loop.ddg.topological_order())}
+        self._edges.sort(key=lambda e: position[e[0]])
+        self._edge_slacks: List[int] = [
+            max(0, self._analysis.edge_slack(dep)) for dep in loop.ddg.edges()
+        ]
+        # Align precomputed slacks with the topo-sorted edge tuples.
+        slack_of = {
+            (dep.src, dep.dst, dep.latency, dep.distance, dep.carries_value): s
+            for dep, s in zip(loop.ddg.edges(), self._edge_slacks)
+        }
+        self._sorted_edge_slacks = [slack_of[e] for e in self._edges]
+        self._op_latency = {
+            uid: loop.ddg.operation(uid).latency for uid in self._uids
+        }
+        self._class_of = {
+            uid: _CLASS_INDEX[loop.ddg.operation(uid).op_class]
+            for uid in self._uids
+        }
+        # units[cluster][class index]
+        self._units = [
+            [machine.cluster(c).units_for_class(cls) for cls in OpClass]
+            for c in range(machine.num_clusters)
+        ]
+        self._bus_latency = machine.bus_latency
+        self._num_buses = machine.num_buses
+        self._clustered = machine.is_clustered
+
+    # ------------------------------------------------------------------
+    def estimate(self, assignment: Assignment) -> PartitionEstimate:
+        """Estimate the execution time of ``assignment`` (§3.2.2)."""
+        if len(assignment) < len(self._uids):
+            missing = [uid for uid in self._uids if uid not in assignment]
+            raise PartitionError(f"assignment misses operations {missing[:5]}")
+
+        ncomm, cut_count, comm_mem = self._comm_counts(assignment)
+        ii_bus = (
+            math.ceil(ncomm * self._bus_latency / self._num_buses)
+            if (self._clustered and ncomm)
+            else 0
+        )
+        # Transfers the bus cannot absorb at the requested interval will go
+        # through memory (§3.1/§3.3.2): a store in the producer's cluster
+        # plus a load in the consumer's.  Charge that port usage to the
+        # partition so refinement keeps memory headroom for it.
+        overflow_fraction = 0.0
+        if ncomm and self._clustered:
+            bus_capacity = (self.ii * self._num_buses) // self._bus_latency
+            overflow = max(0, ncomm - bus_capacity)
+            overflow_fraction = overflow / ncomm
+        mem_extra = [usage * overflow_fraction for usage in comm_mem]
+        res_ii = self._cluster_res_mii(assignment, mem_extra)
+        ii_est = max(self.ii, ii_bus, res_ii)
+
+        path = self._longest_path(assignment, ii_est)
+        if path is None:
+            ii_est = self._rec_mii_with_cut(assignment, lower_bound=ii_est)
+            path = self._longest_path(assignment, ii_est)
+            if path is None:  # pragma: no cover - defensive
+                raise PartitionError("estimator failed to converge")
+
+        exec_time = (self.loop.trip_count - 1) * ii_est + path
+        return PartitionEstimate(
+            exec_time=exec_time,
+            ii_est=ii_est,
+            ii_bus=ii_bus,
+            ncomm=ncomm,
+            cut_edges=cut_count,
+            critical_path=path,
+        )
+
+    def cut_slack_total(self, assignment: Assignment) -> int:
+        """Total slack of cut DATA edges (first refinement tie-breaker)."""
+        total = 0
+        for (src, dst, _lat, _dist, carries), slack in zip(
+            self._edges, self._sorted_edge_slacks
+        ):
+            if carries and assignment[src] != assignment[dst]:
+                total += slack
+        return total
+
+    # ------------------------------------------------------------------
+    def _comm_counts(self, assignment: Assignment) -> Tuple[int, int, List[int]]:
+        """(transfers, cut edges, per-cluster memory ops if routed via memory).
+
+        The third element counts, for every transfer, one store in the
+        producer's cluster and one load in the consumer's — the port usage a
+        memory-routed communication would cost each cluster.
+        """
+        pairs = set()
+        cut = 0
+        comm_mem = [0] * self.machine.num_clusters
+        for src, dst, _lat, _dist, carries in self._edges:
+            if carries and assignment[src] != assignment[dst]:
+                cut += 1
+                pair = (src, assignment[dst])
+                if pair not in pairs:
+                    pairs.add(pair)
+                    comm_mem[assignment[src]] += 1
+                    comm_mem[assignment[dst]] += 1
+        return len(pairs), cut, comm_mem
+
+    def _cluster_res_mii(
+        self, assignment: Assignment, mem_extra: Optional[Sequence[float]] = None
+    ) -> int:
+        n_classes = len(OpClass)
+        counts = [
+            [0] * n_classes for _ in range(self.machine.num_clusters)
+        ]
+        for uid in self._uids:
+            counts[assignment[uid]][self._class_of[uid]] += 1
+        mem_index = _CLASS_INDEX[OpClass.MEM]
+        worst = 1
+        for cluster in range(self.machine.num_clusters):
+            for cls_idx in range(n_classes):
+                count = counts[cluster][cls_idx]
+                if cls_idx == mem_index and mem_extra is not None:
+                    count += math.ceil(mem_extra[cluster])
+                if not count:
+                    continue
+                units = self._units[cluster][cls_idx]
+                if units == 0:
+                    return _INFEASIBLE_II
+                need = -(-count // units)  # ceil
+                if need > worst:
+                    worst = need
+        return worst
+
+    def _longest_path(self, assignment: Assignment, ii: int) -> Optional[int]:
+        """Critical path with bus delays on cut DATA edges, or None if the
+        modified recurrences make ``ii`` infeasible."""
+        if not self._uids:
+            return 0
+        dist = dict.fromkeys(self._uids, 0)
+        bus = self._bus_latency
+        n = len(self._uids)
+        for _ in range(n + 1):
+            changed = False
+            for src, dst, lat, distance, carries in self._edges:
+                length = lat - ii * distance
+                if carries and assignment[src] != assignment[dst]:
+                    length += bus
+                cand = dist[src] + length
+                if cand > dist[dst]:
+                    dist[dst] = cand
+                    changed = True
+            if not changed:
+                return max(dist[uid] + self._op_latency[uid] for uid in self._uids)
+        return None
+
+    def _rec_mii_with_cut(self, assignment: Assignment, lower_bound: int) -> int:
+        lo = lower_bound
+        if self._longest_path(assignment, lo) is not None:
+            return lo
+        hi = max(
+            lo + 1,
+            sum(e[2] for e in self._edges)
+            + self._bus_latency * len(self._edges)
+            + 1,
+        )
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._longest_path(assignment, mid) is None:
+                lo = mid
+            else:
+                hi = mid
+        return hi

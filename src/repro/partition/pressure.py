@@ -1,0 +1,96 @@
+"""Register-pressure-aware partitioning (extension).
+
+The paper observes (§4.2) that its partitioner ignores register pressure,
+which occasionally hurts register-starved configurations (hydro2d/mgrid on
+the 4-cluster, 32-register machine), and names pressure-aware partitioning
+as future work.  This module implements that extension: an estimator whose
+objective adds a penalty when the partition's estimated per-cluster register
+pressure exceeds the cluster's register file.
+
+Pressure is estimated analytically from the II-parametric analysis, without
+scheduling: a value born at ``asap(producer) + latency`` and last read at
+``max(asap(consumer) + II x distance)`` occupies roughly
+``lifetime / II`` registers of its producer's cluster in the steady state
+(plus one register in every cluster it is communicated to).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..ir.analysis import LoopAnalysis, analyze
+from ..ir.loop import Loop
+from ..machine.config import MachineConfig
+from .estimator import Assignment, PartitionEstimate, PartitionEstimator
+
+
+def estimate_register_pressure(
+    loop: Loop, assignment: Assignment, ii: int, analysis: LoopAnalysis = None
+) -> Dict[int, float]:
+    """Steady-state register pressure each cluster would sustain.
+
+    Returns a map cluster -> estimated registers in use.
+    """
+    ddg = loop.ddg
+    if analysis is None:
+        analysis = analyze(ddg, ii)
+    pressure: Dict[int, float] = {}
+    for uid in ddg.uids():
+        op = ddg.operation(uid)
+        uses = ddg.consumers_of_value(uid)
+        if op.is_store or not uses:
+            continue
+        birth = analysis.asap[uid] + op.latency
+        death = max(analysis.asap[dep.dst] + ii * dep.distance for dep in uses)
+        lifetime = max(death - birth, 1)
+        home = assignment[uid]
+        pressure[home] = pressure.get(home, 0.0) + lifetime / ii
+        # One steady-state register per remote cluster holding a copy.
+        remote = {assignment[dep.dst] for dep in uses} - {home}
+        for cluster in remote:
+            pressure[cluster] = pressure.get(cluster, 0.0) + 1.0
+    return pressure
+
+
+class PressureAwareEstimator(PartitionEstimator):
+    """Partition estimator whose objective penalizes register overflow.
+
+    The penalty models the spill traffic an overflowing cluster would incur:
+    every excess register forces roughly one store/load pair per iteration,
+    costing memory-port slots; we charge ``penalty_per_excess`` cycles per
+    excess register per iteration.
+    """
+
+    def __init__(
+        self,
+        loop: Loop,
+        machine: MachineConfig,
+        ii: int,
+        penalty_per_excess: float = 1.0,
+    ) -> None:
+        super().__init__(loop, machine, ii)
+        self.penalty_per_excess = penalty_per_excess
+
+    def estimate(self, assignment: Assignment) -> PartitionEstimate:
+        base = super().estimate(assignment)
+        pressure = estimate_register_pressure(
+            self.loop, assignment, self.ii, self._analysis
+        )
+        excess = 0.0
+        for cluster, value in pressure.items():
+            capacity = self.machine.cluster(cluster).registers
+            excess += max(0.0, value - capacity)
+        if excess == 0.0:
+            return base
+        penalty = math.ceil(
+            excess * self.penalty_per_excess * self.loop.trip_count / max(1, self.ii)
+        )
+        return PartitionEstimate(
+            exec_time=base.exec_time + penalty,
+            ii_est=base.ii_est,
+            ii_bus=base.ii_bus,
+            ncomm=base.ncomm,
+            cut_edges=base.cut_edges,
+            critical_path=base.critical_path,
+        )

@@ -1,0 +1,308 @@
+"""Partition refinement (paper §3.2.2).
+
+At every level of the hierarchy, from coarsest to finest, two heuristics
+improve the partition induced by the coarser level:
+
+1. **Workload balancing** — while any (functional unit class, cluster) is
+   overloaded (more operations than ``units x II`` slots), move a coarse
+   node using that resource to a cluster where it fits, treating resources
+   from most to least saturated and never re-overloading a more critical
+   resource already fixed.
+2. **Cut-impact minimization** — repeatedly consider moving every boundary
+   node to a neighbouring cluster (or, when the destination lacks room,
+   exchanging it with a node of the destination), price each candidate with
+   the :class:`~repro.partition.estimator.PartitionEstimator`, and apply the
+   best one.  Ties are broken first by the total slack of the remaining cut
+   edges (maximize), then by the number of cut edges (minimize), exactly as
+   in the paper.  A candidate is applied only if it strictly improves the
+   ``(exec_time, -cut_slack, cut_edges)`` tuple, which guarantees
+   termination.
+
+The candidate evaluation loop is the partitioner's hot path; cluster loads
+are maintained incrementally and the uid-level assignment is mutated in
+place (and restored) around each trial estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.opcodes import OpClass
+from ..machine.config import MachineConfig
+from .coarsen import Level
+from .estimator import PartitionEstimator
+
+#: Assignment of hierarchy groups to clusters.
+GroupAssignment = Dict[int, int]
+
+_CLASSES = list(OpClass)
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A refinement transformation: move one group, optionally swap two."""
+
+    group: int
+    to_cluster: int
+    swap_with: Optional[int] = None  # group currently in ``to_cluster``
+
+
+class Refiner:
+    """Refines group-to-cluster assignments at one hierarchy level."""
+
+    def __init__(
+        self,
+        estimator: PartitionEstimator,
+        machine: MachineConfig,
+        max_rounds: int = 64,
+        max_swaps_per_group: int = 6,
+    ) -> None:
+        self.estimator = estimator
+        self.machine = machine
+        self.max_rounds = max_rounds
+        self.max_swaps_per_group = max_swaps_per_group
+        self._ddg = estimator.loop.ddg
+        self._capacity = self._capacity_at(estimator.ii)
+        #: Capacity used by the cut-minimization move checks; re-derived each
+        #: round from the current partition's own implied II (see
+        #: :meth:`minimize_cut_impact`): when IIbus inflates the interval,
+        #: the extra slots make *gathering* moves feasible, which is exactly
+        #: the trade the estimator needs to be allowed to price.
+        self._cut_capacity = self._capacity
+
+    def _capacity_at(self, ii: int) -> List[Dict[OpClass, int]]:
+        return [
+            {
+                cls: self.machine.cluster(c).units_for_class(cls) * ii
+                for cls in _CLASSES
+            }
+            for c in range(self.machine.num_clusters)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _uid_assignment(self, level: Level, groups: GroupAssignment) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for gid, uids in level.items():
+            cluster = groups[gid]
+            for uid in uids:
+                out[uid] = cluster
+        return out
+
+    def _class_counts(self, level: Level) -> Dict[int, Dict[OpClass, int]]:
+        """Operations of each class inside each group."""
+        counts: Dict[int, Dict[OpClass, int]] = {}
+        for gid, uids in level.items():
+            per: Dict[OpClass, int] = {}
+            for uid in uids:
+                cls = self._ddg.operation(uid).op_class
+                per[cls] = per.get(cls, 0) + 1
+            counts[gid] = per
+        return counts
+
+    def _cluster_loads(
+        self, level: Level, groups: GroupAssignment, class_counts
+    ) -> List[Dict[OpClass, int]]:
+        loads: List[Dict[OpClass, int]] = [
+            {cls: 0 for cls in _CLASSES} for _ in range(self.machine.num_clusters)
+        ]
+        for gid in level:
+            cluster = groups[gid]
+            for cls, count in class_counts[gid].items():
+                loads[cluster][cls] += count
+        return loads
+
+    # ------------------------------------------------------------------
+    # Heuristic 1: workload balancing
+    # ------------------------------------------------------------------
+    def balance_workload(
+        self, level: Level, groups: GroupAssignment
+    ) -> GroupAssignment:
+        """Remove resource overloads by moving groups (first-fit)."""
+        groups = dict(groups)
+        class_counts = self._class_counts(level)
+        for _ in range(self.max_rounds):
+            loads = self._cluster_loads(level, groups, class_counts)
+            overloaded = [
+                (cluster, cls, loads[cluster][cls] / max(1, self._capacity[cluster][cls]))
+                for cluster in range(self.machine.num_clusters)
+                for cls in _CLASSES
+                if loads[cluster][cls] > self._capacity[cluster][cls]
+            ]
+            if not overloaded:
+                return groups
+            overloaded.sort(key=lambda item: (-item[2], item[0], item[1].value))
+            if not self._balance_step(level, groups, class_counts, loads, overloaded):
+                return groups
+        return groups
+
+    def _balance_step(
+        self, level, groups, class_counts, loads, overloaded
+    ) -> bool:
+        """Apply one balancing move; returns False if none is possible."""
+        criticality_order = [(cl, cls) for cl, cls, _sat in overloaded]
+        for rank, (cluster, cls, _sat) in enumerate(overloaded):
+            movable = sorted(
+                (
+                    gid
+                    for gid in level
+                    if groups[gid] == cluster and class_counts[gid].get(cls, 0) > 0
+                ),
+                key=lambda gid: (-class_counts[gid].get(cls, 0), gid),
+            )
+            protected = {c for (_cl, c) in criticality_order[: rank + 1]}
+            targets = sorted(
+                (c for c in range(self.machine.num_clusters) if c != cluster),
+                key=lambda c: (loads[c][cls], c),
+            )
+            for gid in movable:
+                for target in targets:
+                    if self._fits_after_add(
+                        loads, class_counts[gid], target, protected
+                    ):
+                        groups[gid] = target
+                        return True
+        return False
+
+    def _fits_after_add(self, loads, group_counts, target, classes) -> bool:
+        for cls in classes:
+            new_load = loads[target][cls] + group_counts.get(cls, 0)
+            if new_load > self._capacity[target][cls]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Heuristic 2: cut-impact minimization
+    # ------------------------------------------------------------------
+    def _score(self, assignment: Dict[int, int]) -> Tuple[int, int, int]:
+        """Lexicographic objective: (exec time, -cut slack, cut edges)."""
+        est = self.estimator.estimate(assignment)
+        slack = self.estimator.cut_slack_total(assignment)
+        return (est.exec_time, -slack, est.cut_edges)
+
+    def _move_fits(self, loads, class_counts, gid, source, target) -> bool:
+        for cls, count in class_counts[gid].items():
+            if loads[target][cls] + count > self._cut_capacity[target][cls]:
+                return False
+        return True
+
+    def _swap_fits(self, loads, class_counts, gid, other, cl_g, cl_o) -> bool:
+        for cls in _CLASSES:
+            delta_g = class_counts[gid].get(cls, 0)
+            delta_o = class_counts[other].get(cls, 0)
+            if loads[cl_o][cls] - delta_o + delta_g > self._cut_capacity[cl_o][cls]:
+                return False
+            if loads[cl_g][cls] - delta_g + delta_o > self._cut_capacity[cl_g][cls]:
+                return False
+        return True
+
+    def _boundary_candidates(
+        self, level: Level, groups: GroupAssignment, class_counts, loads,
+        group_of: Dict[int, int],
+    ) -> List[_Candidate]:
+        """Moves of boundary groups plus fallback swaps (paper §3.2.2)."""
+        neighbour_clusters: Dict[int, Set[int]] = {gid: set() for gid in level}
+        for dep in self._ddg.edges():
+            gu, gv = group_of[dep.src], group_of[dep.dst]
+            if gu == gv:
+                continue
+            cu, cv = groups[gu], groups[gv]
+            if cu != cv:
+                neighbour_clusters[gu].add(cv)
+                neighbour_clusters[gv].add(cu)
+
+        candidates: List[_Candidate] = []
+        for gid in sorted(level):
+            source = groups[gid]
+            for target in sorted(neighbour_clusters[gid]):
+                if self._move_fits(loads, class_counts, gid, source, target):
+                    candidates.append(_Candidate(gid, target))
+                else:
+                    others = sorted(
+                        (g for g in level if groups[g] == target and g != gid),
+                        key=lambda g: (len(level[g]), g),
+                    )[: self.max_swaps_per_group]
+                    for other in others:
+                        if self._swap_fits(
+                            loads, class_counts, gid, other, source, target
+                        ):
+                            candidates.append(_Candidate(gid, target, swap_with=other))
+        return candidates
+
+    def minimize_cut_impact(
+        self, level: Level, groups: GroupAssignment
+    ) -> GroupAssignment:
+        """Apply best-improvement moves/swaps until no candidate helps."""
+        groups = dict(groups)
+        class_counts = self._class_counts(level)
+        group_of: Dict[int, int] = {}
+        for gid, uids in level.items():
+            for uid in uids:
+                group_of[uid] = gid
+        assignment = self._uid_assignment(level, groups)
+        loads = self._cluster_loads(level, groups, class_counts)
+        current = self._score(assignment)
+
+        def apply_candidate(cand: _Candidate) -> Tuple[int, ...]:
+            """Apply in place; returns the inverse recipe (moves to undo)."""
+            src_g = groups[cand.group]
+            if cand.swap_with is None:
+                self._apply_move(
+                    level, class_counts, cand.group, src_g, cand.to_cluster,
+                    groups, assignment, loads,
+                )
+                return (cand.group, src_g)
+            src_o = groups[cand.swap_with]
+            self._apply_move(
+                level, class_counts, cand.group, src_g, src_o,
+                groups, assignment, loads,
+            )
+            self._apply_move(
+                level, class_counts, cand.swap_with, src_o, src_g,
+                groups, assignment, loads,
+            )
+            return (cand.group, src_g, cand.swap_with, src_o)
+
+        def undo(recipe: Tuple[int, ...]) -> None:
+            for i in range(0, len(recipe), 2):
+                gid, original = recipe[i], recipe[i + 1]
+                self._apply_move(
+                    level, class_counts, gid, groups[gid], original,
+                    groups, assignment, loads,
+                )
+
+        for _ in range(self.max_rounds):
+            candidates = self._boundary_candidates(
+                level, groups, class_counts, loads, group_of
+            )
+            best: Optional[Tuple[Tuple[int, int, int], _Candidate]] = None
+            for cand in candidates:
+                recipe = apply_candidate(cand)
+                score = self._score(assignment)
+                undo(recipe)
+                if score < current and (best is None or score < best[0]):
+                    best = (score, cand)
+            if best is None:
+                return groups
+            current, chosen = best
+            apply_candidate(chosen)
+        return groups
+
+    def _apply_move(
+        self, level, class_counts, gid, source, target,
+        groups, assignment, loads,
+    ) -> None:
+        groups[gid] = target
+        for uid in level[gid]:
+            assignment[uid] = target
+        for cls, count in class_counts[gid].items():
+            loads[source][cls] -= count
+            loads[target][cls] += count
+
+    # ------------------------------------------------------------------
+    def refine(self, level: Level, groups: GroupAssignment) -> GroupAssignment:
+        """Balance workload, then minimize cut impact, at this level."""
+        groups = self.balance_workload(level, groups)
+        return self.minimize_cut_impact(level, groups)

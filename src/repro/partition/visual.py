@@ -1,0 +1,82 @@
+"""Visualization of partitions and coarsening hierarchies.
+
+Text renderings for terminals and Graphviz DOT export with one color per
+cluster — the quickest way to *see* what the multilevel partitioner did to
+a loop and which dependences ended up in the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.ddg import DataDependenceGraph, DepKind
+from .coarsen import Hierarchy
+from .partitioner import Partition
+
+#: Fill colors per cluster index (cycled if there are more clusters).
+_CLUSTER_COLORS = (
+    "lightblue", "lightsalmon", "palegreen", "plum",
+    "khaki", "lightcyan", "mistyrose", "honeydew",
+)
+
+
+def partition_to_dot(ddg: DataDependenceGraph, partition: Partition) -> str:
+    """Graphviz DOT of the DDG with cluster coloring and highlighted cut."""
+    lines = [f'digraph "{ddg.name}" {{', "  node [style=filled];"]
+    for op in ddg.operations():
+        cluster = partition.assignment[op.uid]
+        color = _CLUSTER_COLORS[cluster % len(_CLUSTER_COLORS)]
+        lines.append(
+            f'  n{op.uid} [label="{op.name}\\n{op.opcode.name} c{cluster}", '
+            f'fillcolor={color}];'
+        )
+    for dep in ddg.edges():
+        cut = (
+            dep.carries_value
+            and partition.assignment[dep.src] != partition.assignment[dep.dst]
+        )
+        attrs = ['color=red, penwidth=2'] if cut else []
+        if dep.kind is not DepKind.DATA:
+            attrs.append("style=dashed")
+        if dep.distance:
+            attrs.append(f'label="d{dep.distance}"')
+        suffix = f' [{", ".join(attrs)}]' if attrs else ""
+        lines.append(f"  n{dep.src} -> n{dep.dst}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def partition_summary(ddg: DataDependenceGraph, partition: Partition) -> str:
+    """Per-cluster membership plus the cut, as plain text."""
+    clusters: Dict[int, list] = {}
+    for uid, cluster in sorted(partition.assignment.items()):
+        clusters.setdefault(cluster, []).append(ddg.operation(uid).name)
+    lines = []
+    for cluster in sorted(clusters):
+        members = ", ".join(clusters[cluster])
+        lines.append(f"cluster {cluster}: {members}")
+    cut = [
+        f"{ddg.operation(d.src).name} -> {ddg.operation(d.dst).name}"
+        for d in ddg.edges()
+        if d.carries_value
+        and partition.assignment[d.src] != partition.assignment[d.dst]
+    ]
+    lines.append(
+        f"cut ({len(cut)} values, IIbus={partition.ii_bus}): "
+        + ("; ".join(cut) if cut else "none")
+    )
+    return "\n".join(lines)
+
+
+def hierarchy_summary(hierarchy: Hierarchy) -> str:
+    """One line per coarsening level: group sizes from finest to coarsest."""
+    ddg = hierarchy.weighting.loop.ddg
+    lines = []
+    for depth, level in enumerate(hierarchy.levels):
+        groups = sorted(level.values(), key=lambda uids: (-len(uids), uids))
+        rendered = " ".join(
+            "{" + ",".join(ddg.operation(u).name for u in uids) + "}"
+            for uids in groups
+        )
+        lines.append(f"level {depth} ({len(level)} nodes): {rendered}")
+    return "\n".join(lines)

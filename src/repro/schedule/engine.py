@@ -1,0 +1,802 @@
+"""The single-pass modulo scheduling engine (paper §3.3).
+
+One engine implements the URACAM-style scheduler all three algorithms
+share: operations are visited in SMS order; for each operation, candidate
+placements (cluster, cycle) are evaluated against the reservation tables,
+the inter-cluster communication resources and the register files; the
+*cluster policy* — the only thing that differs between URACAM, Fixed
+Partition and GP — decides which clusters are tried and how a winner is
+chosen (via the figure of merit).  When every candidate fails on register
+pressure, the engine applies the spill transformation (§3.3.2) and retries.
+
+Communication routing for a cross-cluster value, in preference order:
+
+1. reuse a register copy already delivered (or planned within the same
+   candidate) to the consumer's cluster,
+2. a new bus transfer (earliest free slot on any bus; the bus is
+   non-pipelined so a transfer holds it for ``bus_latency`` cycles), or
+3. the communication-through-memory transformation: a store in the
+   producer's cluster plus a load in the consumer's (the store is shared by
+   every memory-routed consumer of the value).
+
+Spilled values live in memory; their future consumers load them directly,
+which is also how the paper's "communication through memory" and spill
+machinery coincide.
+
+Candidate evaluation never mutates committed state: resource claims are
+staged in an :class:`~repro.schedule.mrt.Overlay`, and value/lifetime edits
+are applied and rolled back around the register-pressure check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.analysis import analyze
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..ir.opcodes import OpClass
+from ..machine.config import MachineConfig
+from .lifetimes import max_live, register_cycles
+from .merit import DEFAULT_THRESHOLD, MeritVector, compare, consumption
+from .mrt import FUSlot, Overlay, ReservationTable
+from .ordering import sms_order
+from .result import AuxOp, ModuloSchedule, Placed, ScheduleStats
+from .values import (
+    LOAD_LATENCY,
+    STORE_LATENCY,
+    BusTransfer,
+    Use,
+    ValueState,
+    value_segments,
+)
+
+
+@dataclass
+class _Route:
+    """One planned value movement attached to a candidate placement."""
+
+    value_key: Optional[int]  # producer uid of an existing value; None = new
+    use: Use
+    new_transfer: Optional[BusTransfer] = None
+    new_store: Optional[AuxOp] = None
+    new_load: Optional[AuxOp] = None
+
+
+@dataclass
+class Candidate:
+    """A feasible placement of one operation, ready to commit."""
+
+    uid: int
+    cluster: int
+    time: int
+    overlay: Overlay
+    routes: List[_Route]
+    merit: MeritVector
+    creates_value: bool
+
+
+class ClusterPolicy:
+    """Decides which clusters are tried for each operation."""
+
+    name = "policy"
+
+    def select(
+        self,
+        uid: int,
+        evaluate: Callable[[int], Optional[Candidate]],
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> Optional[Candidate]:
+        """Return the winning candidate, or None if every cluster fails."""
+        raise NotImplementedError
+
+
+class AllClustersPolicy(ClusterPolicy):
+    """URACAM: try every cluster, keep the figure-of-merit winner."""
+
+    name = "all-clusters"
+
+    def __init__(self, num_clusters: int) -> None:
+        self.num_clusters = num_clusters
+
+    def select(self, uid, evaluate, threshold=DEFAULT_THRESHOLD):
+        best: Optional[Candidate] = None
+        for cluster in range(self.num_clusters):
+            candidate = evaluate(cluster)
+            if candidate is None:
+                continue
+            if best is None or compare(candidate.merit, best.merit, threshold) < 0:
+                best = candidate
+        return best
+
+
+class FixedClusterPolicy(ClusterPolicy):
+    """Fixed Partition: only the partition's cluster is ever tried."""
+
+    name = "fixed-partition"
+
+    def __init__(self, assignment: Dict[int, int]) -> None:
+        self.assignment = assignment
+
+    def select(self, uid, evaluate, threshold=DEFAULT_THRESHOLD):
+        return evaluate(self.assignment[uid])
+
+
+class AssignedFirstPolicy(ClusterPolicy):
+    """GP: the partition's cluster first; on failure, the merit-best other."""
+
+    name = "assigned-first"
+
+    def __init__(self, assignment: Dict[int, int], num_clusters: int) -> None:
+        self.assignment = assignment
+        self.num_clusters = num_clusters
+
+    def select(self, uid, evaluate, threshold=DEFAULT_THRESHOLD):
+        home = self.assignment[uid]
+        candidate = evaluate(home)
+        if candidate is not None:
+            return candidate
+        best: Optional[Candidate] = None
+        for cluster in range(self.num_clusters):
+            if cluster == home:
+                continue
+            other = evaluate(cluster)
+            if other is None:
+                continue
+            if best is None or compare(other.merit, best.merit, threshold) < 0:
+                best = other
+        return best
+
+
+@dataclass
+class EngineOptions:
+    """Tunables of the scheduling engine."""
+
+    merit_threshold: float = DEFAULT_THRESHOLD
+    allow_spill: bool = True
+    allow_memory_comm: bool = True
+    max_spill_rounds: int = 3
+    spill_victims_tried: int = 6
+    #: Original memory ops per cluster (per-cluster headroom, §3.3.4); when
+    #: None, the single global headroom component of §3.3.2 is used.
+    mem_ops_per_cluster: Optional[Dict[int, int]] = None
+
+
+class SchedulingEngine:
+    """One modulo-scheduling attempt of one loop at one fixed II."""
+
+    def __init__(
+        self,
+        loop: Loop,
+        machine: MachineConfig,
+        ii: int,
+        policy: ClusterPolicy,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self.loop = loop
+        self.machine = machine
+        self.ii = ii
+        self.policy = policy
+        self.options = options or EngineOptions()
+        self.ddg = loop.ddg
+        self.table = ReservationTable(machine, ii)
+        self.placements: Dict[int, Placed] = {}
+        self.values: Dict[int, ValueState] = {}
+        self.aux_ops: List[AuxOp] = []
+        self.stats = ScheduleStats()
+        self._analysis = analyze(self.ddg, ii)
+        self._aux_mem_per_cluster: Dict[int, int] = {}
+        self._total_mem_ops = sum(1 for op in self.ddg.operations() if op.is_memory)
+        self._failure_reasons: Dict[int, Set[str]] = {}
+        self._baseline_cycles: List[int] = [0] * machine.num_clusters
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def attempt(self) -> Optional[ModuloSchedule]:
+        """Run one full scheduling attempt; None if any node fails."""
+        for uid in sms_order(self.ddg, self.ii):
+            if not self._schedule_node(uid):
+                return None
+        return ModuloSchedule(
+            loop=self.loop,
+            machine=self.machine,
+            ii=self.ii,
+            placements=dict(self.placements),
+            values=dict(self.values),
+            aux_ops=list(self.aux_ops),
+            stats=self.stats,
+        )
+
+    def _schedule_node(self, uid: int) -> bool:
+        for _round in range(self.options.max_spill_rounds + 1):
+            self._failure_reasons = {}
+            # Register-cycle baseline, shared by every candidate this round.
+            self._baseline_cycles = register_cycles(
+                value_segments(self.values.values()), self.machine.num_clusters
+            )
+            candidate = self.policy.select(
+                uid,
+                lambda cluster: self._evaluate(uid, cluster),
+                self.options.merit_threshold,
+            )
+            if candidate is not None:
+                self._commit(candidate)
+                return True
+            if not self.options.allow_spill:
+                return False
+            register_bound = [
+                cluster
+                for cluster, reasons in sorted(self._failure_reasons.items())
+                if "regs" in reasons
+            ]
+            if not register_bound:
+                return False
+            if not any(self._try_spill(cluster) for cluster in register_bound):
+                return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Slot window
+    # ------------------------------------------------------------------
+    def _window(self, uid: int) -> Sequence[int]:
+        """Candidate issue cycles for ``uid``, in scan order.
+
+        Lower bounds come from scheduled predecessors, upper bounds from
+        scheduled successors (same-cluster separations; cross-cluster
+        routing is checked per slot).  At most II distinct cycles are
+        scanned, forward when predecessors anchor the node, backward when
+        only successors do — the SMS scan directions.
+        """
+        estart: Optional[int] = None
+        lstart: Optional[int] = None
+        for dep in self.ddg.in_edges(uid):
+            if dep.src == uid:
+                continue
+            placed = self.placements.get(dep.src)
+            if placed is None:
+                continue
+            bound = placed.time + dep.latency - self.ii * dep.distance
+            estart = bound if estart is None else max(estart, bound)
+        for dep in self.ddg.out_edges(uid):
+            if dep.dst == uid:
+                continue
+            placed = self.placements.get(dep.dst)
+            if placed is None:
+                continue
+            bound = placed.time - dep.latency + self.ii * dep.distance
+            lstart = bound if lstart is None else min(lstart, bound)
+
+        if estart is None and lstart is None:
+            base = self._analysis.asap[uid]
+            return range(base, base + self.ii)
+        if estart is None:
+            return range(lstart, lstart - self.ii, -1)
+        if lstart is None:
+            return range(estart, estart + self.ii)
+        return range(estart, min(lstart, estart + self.ii - 1) + 1)
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, uid: int, cluster: int) -> Optional[Candidate]:
+        reasons = self._failure_reasons.setdefault(cluster, set())
+        op = self.ddg.operation(uid)
+        window = self._window(uid)
+        if not window:
+            reasons.add("dep")
+            return None
+        for time in window:
+            candidate = self._evaluate_slot(uid, op, cluster, time, reasons)
+            if candidate is not None:
+                return candidate
+        return None
+
+    def _evaluate_slot(
+        self, uid: int, op, cluster: int, time: int, reasons: Set[str]
+    ) -> Optional[Candidate]:
+        overlay = Overlay(self.table)
+        own_slot = FUSlot(cluster, op.op_class, time)
+        if not self.table.fu_free(own_slot, overlay):
+            reasons.add("fu")
+            return None
+        overlay.add_fu(own_slot)
+
+        routes: List[_Route] = []
+        creates_value = not op.is_store
+        birth = time + op.latency
+
+        # --- operand routing: values of already-scheduled producers ------
+        planned_operand_copies: Dict[Tuple[int, int], int] = {}
+        seen_reads: Set[Tuple[int, int]] = set()
+        for dep in self.ddg.in_edges(uid):
+            if dep.kind is not DepKind.DATA or dep.src == uid:
+                continue
+            if dep.src not in self.placements:
+                continue
+            read_time = time + self.ii * dep.distance
+            key = (dep.src, read_time)
+            if key in seen_reads:
+                continue
+            seen_reads.add(key)
+            route = self._plan_operand_route(
+                self.values[dep.src], uid, cluster, read_time,
+                overlay, reasons, planned_operand_copies,
+            )
+            if route is None:
+                return None
+            routes.append(route)
+
+        # --- delivery routing: this value to scheduled consumers ---------
+        if creates_value:
+            planned_copies: Dict[int, int] = {cluster: birth}
+            pending_store: Optional[AuxOp] = None
+            for dep in self.ddg.out_edges(uid):
+                if dep.kind is not DepKind.DATA:
+                    continue
+                if dep.dst == uid:
+                    read_time = time + self.ii * dep.distance
+                    if read_time < birth:
+                        reasons.add("dep")
+                        return None
+                    routes.append(_Route(None, Use(uid, cluster, read_time, "reg")))
+                    continue
+                placed = self.placements.get(dep.dst)
+                if placed is None:
+                    continue
+                read_time = placed.time + self.ii * dep.distance
+                route, pending_store = self._plan_delivery_route(
+                    uid, birth, cluster, placed.cluster, dep.dst, read_time,
+                    planned_copies, pending_store, overlay, reasons,
+                )
+                if route is None:
+                    return None
+                routes.append(route)
+
+        # --- register feasibility + consumption deltas -------------------
+        reg_delta, fits = self._register_effect(uid, cluster, birth, creates_value, routes)
+        if not fits:
+            reasons.add("regs")
+            return None
+
+        merit = self._merit(overlay, reg_delta, own_is_memory=op.is_memory)
+        return Candidate(
+            uid=uid,
+            cluster=cluster,
+            time=time,
+            overlay=overlay,
+            routes=routes,
+            merit=merit,
+            creates_value=creates_value,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _plan_operand_route(
+        self,
+        value: ValueState,
+        consumer: int,
+        cluster: int,
+        read_time: int,
+        overlay: Overlay,
+        reasons: Set[str],
+        planned_copies: Dict[Tuple[int, int], int],
+    ) -> Optional[_Route]:
+        # 1. A register copy already in this cluster, committed or planned
+        #    within this same candidate.
+        available = value.copy_available(cluster)
+        planned = planned_copies.get((value.producer, cluster))
+        if planned is not None and (available is None or planned < available):
+            available = planned
+        if available is not None and available <= read_time:
+            return _Route(value.producer, Use(consumer, cluster, read_time, "reg"))
+
+        # 2. Spilled (or already stored, never bussed) values: memory load.
+        if value.spilled or value.store_time is not None:
+            route = self._plan_memory_load(value, consumer, cluster, read_time, overlay)
+            if route is not None:
+                return route
+            if value.spilled:
+                reasons.add("mem")
+                return None
+
+        # 3. A fresh bus transfer.
+        slot = self.table.find_bus_slot(
+            earliest=value.birth,
+            latest_start=read_time - self.machine.bus_latency,
+            length=self.machine.bus_latency,
+            overlay=overlay,
+        )
+        if slot is not None:
+            overlay.add_bus(slot)
+            planned_copies[(value.producer, cluster)] = slot.start + slot.length
+            return _Route(
+                value.producer,
+                Use(consumer, cluster, read_time, "reg"),
+                new_transfer=BusTransfer(slot, cluster),
+            )
+
+        # 4. Communication through memory (store + load).
+        if self.options.allow_memory_comm:
+            route = self._plan_memory_load(
+                value, consumer, cluster, read_time, overlay,
+                create_store=value.store_time is None,
+            )
+            if route is not None:
+                return route
+            reasons.add("mem")
+        reasons.add("bus")
+        return None
+
+    def _plan_memory_load(
+        self,
+        value: ValueState,
+        consumer: int,
+        cluster: int,
+        read_time: int,
+        overlay: Overlay,
+        create_store: bool = False,
+    ) -> Optional[_Route]:
+        new_store: Optional[AuxOp] = None
+        if create_store:
+            store_time = self._find_mem_slot(
+                value.home, value.birth, value.birth + self.ii - 1, overlay,
+                prefer="early",
+            )
+            if store_time is None:
+                return None
+            overlay.add_fu(FUSlot(value.home, OpClass.MEM, store_time))
+            new_store = AuxOp("comm_store", value.producer, value.home, store_time)
+            ready = store_time + STORE_LATENCY
+        else:
+            maybe_ready = value.memory_ready()
+            if maybe_ready is None:
+                return None
+            ready = maybe_ready
+        load_time = self._find_mem_slot(
+            cluster, ready, read_time - LOAD_LATENCY, overlay, prefer="late"
+        )
+        if load_time is None:
+            return None
+        overlay.add_fu(FUSlot(cluster, OpClass.MEM, load_time))
+        kind = "spill_load" if value.spilled else "comm_load"
+        return _Route(
+            value.producer,
+            Use(consumer, cluster, read_time, "mem", load_time=load_time),
+            new_store=new_store,
+            new_load=AuxOp(kind, value.producer, cluster, load_time),
+        )
+
+    def _plan_delivery_route(
+        self,
+        producer: int,
+        birth: int,
+        home: int,
+        dst_cluster: int,
+        consumer: int,
+        read_time: int,
+        planned_copies: Dict[int, int],
+        pending_store: Optional[AuxOp],
+        overlay: Overlay,
+        reasons: Set[str],
+    ) -> Tuple[Optional[_Route], Optional[AuxOp]]:
+        """Route the value being produced to an already-scheduled consumer."""
+        available = planned_copies.get(dst_cluster)
+        if available is not None and available <= read_time:
+            return (
+                _Route(None, Use(consumer, dst_cluster, read_time, "reg")),
+                pending_store,
+            )
+        if dst_cluster == home:
+            # The local copy (ready at birth) arrives too late: the
+            # consumer is scheduled before this producer's result.
+            reasons.add("dep")
+            return None, pending_store
+
+        slot = self.table.find_bus_slot(
+            earliest=birth,
+            latest_start=read_time - self.machine.bus_latency,
+            length=self.machine.bus_latency,
+            overlay=overlay,
+        )
+        if slot is not None:
+            overlay.add_bus(slot)
+            delivered = slot.start + slot.length
+            prior = planned_copies.get(dst_cluster)
+            if prior is None or delivered < prior:
+                planned_copies[dst_cluster] = delivered
+            return (
+                _Route(
+                    None,
+                    Use(consumer, dst_cluster, read_time, "reg"),
+                    new_transfer=BusTransfer(slot, dst_cluster),
+                ),
+                pending_store,
+            )
+
+        if self.options.allow_memory_comm:
+            new_store: Optional[AuxOp] = None
+            if pending_store is None:
+                store_time = self._find_mem_slot(
+                    home, birth, birth + self.ii - 1, overlay, prefer="early"
+                )
+                if store_time is None:
+                    reasons.add("mem")
+                    return None, pending_store
+                overlay.add_fu(FUSlot(home, OpClass.MEM, store_time))
+                new_store = AuxOp("comm_store", producer, home, store_time)
+                ready = store_time + STORE_LATENCY
+            else:
+                ready = pending_store.time + STORE_LATENCY
+            load_time = self._find_mem_slot(
+                dst_cluster, ready, read_time - LOAD_LATENCY, overlay,
+                prefer="late",
+            )
+            if load_time is None:
+                reasons.add("mem")
+                return None, pending_store
+            overlay.add_fu(FUSlot(dst_cluster, OpClass.MEM, load_time))
+            route = _Route(
+                None,
+                Use(consumer, dst_cluster, read_time, "mem", load_time=load_time),
+                new_store=new_store,
+                new_load=AuxOp("comm_load", producer, dst_cluster, load_time),
+            )
+            return route, (pending_store or new_store)
+        reasons.add("bus")
+        return None, pending_store
+
+    def _find_mem_slot(
+        self,
+        cluster: int,
+        earliest: int,
+        latest: int,
+        overlay: Overlay,
+        prefer: str,
+    ) -> Optional[int]:
+        """A cycle with a free memory port in ``[earliest, latest]``.
+
+        ``prefer="early"`` scans forward (stores: free the register soon);
+        ``prefer="late"`` scans backward (loads: keep the loaded copy's
+        lifetime short).  At most II distinct cycles are examined.
+        """
+        if latest < earliest:
+            return None
+        if latest - earliest + 1 > self.ii:
+            if prefer == "early":
+                latest = earliest + self.ii - 1
+            else:
+                earliest = latest - self.ii + 1
+        cycles = (
+            range(earliest, latest + 1)
+            if prefer == "early"
+            else range(latest, earliest - 1, -1)
+        )
+        for cycle in cycles:
+            if self.table.fu_free(FUSlot(cluster, OpClass.MEM, cycle), overlay):
+                return cycle
+        return None
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+    def _register_effect(
+        self,
+        uid: int,
+        cluster: int,
+        birth: int,
+        creates_value: bool,
+        routes: List[_Route],
+    ) -> Tuple[List[int], bool]:
+        """(register-cycle delta per cluster, fits) after a tentative apply."""
+        before = self._baseline_cycles
+        applied: List[Tuple[ValueState, str, object]] = []
+        new_value: Optional[ValueState] = None
+        if creates_value:
+            new_value = ValueState(producer=uid, home=cluster, birth=birth)
+        try:
+            for route in routes:
+                target = new_value if route.value_key is None else self.values[route.value_key]
+                target.uses.append(route.use)
+                applied.append((target, "use", route.use))
+                if route.new_transfer is not None:
+                    target.transfers.append(route.new_transfer)
+                    applied.append((target, "transfer", route.new_transfer))
+                if route.new_store is not None:
+                    applied.append((target, "store", target.store_time))
+                    target.store_time = route.new_store.time
+            all_values = list(self.values.values())
+            if new_value is not None:
+                all_values.append(new_value)
+            segments = value_segments(all_values)
+            after = register_cycles(segments, self.machine.num_clusters)
+            peaks = max_live(segments, self.ii, self.machine.num_clusters)
+            fits = all(
+                peaks[c] <= self.machine.cluster(c).registers
+                for c in range(self.machine.num_clusters)
+            )
+            delta = [after[c] - before[c] for c in range(self.machine.num_clusters)]
+            return delta, fits
+        finally:
+            for target, kind, payload in reversed(applied):
+                if kind == "use":
+                    target.uses.remove(payload)
+                elif kind == "transfer":
+                    target.transfers.remove(payload)
+                else:
+                    target.store_time = payload  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Figure of merit
+    # ------------------------------------------------------------------
+    def _merit(
+        self, overlay: Overlay, reg_delta: List[int], own_is_memory: bool
+    ) -> MeritVector:
+        components: List[float] = []
+        # Inter-cluster communication slots.
+        bus_new = sum(slot.length for slot in overlay.bus_slots)
+        bus_free = self.table.bus_cycles_total() - self.table.bus_cycles_used()
+        components.append(consumption(bus_new, bus_free))
+        # Per-cluster memory slots (every memory-port use counts).
+        mem_new = [0] * self.machine.num_clusters
+        for slot in overlay.fu_slots:
+            if slot.op_class is OpClass.MEM:
+                mem_new[slot.cluster] += 1
+        for c in range(self.machine.num_clusters):
+            total = self.table.fu_slots_total(c, OpClass.MEM)
+            used = self.table.fu_slots_used(c, OpClass.MEM)
+            components.append(consumption(mem_new[c], total - used))
+        # Per-cluster register lifetimes.
+        before = self._baseline_cycles
+        for c in range(self.machine.num_clusters):
+            capacity = self.machine.cluster(c).registers * self.ii
+            components.append(consumption(max(0, reg_delta[c]), capacity - before[c]))
+        # Headroom for *inserted* memory operations: the op's own slot (when
+        # the op is itself a memory op) is original code, not inserted code.
+        aux_new = list(mem_new)
+        if own_is_memory and overlay.fu_slots:
+            own = overlay.fu_slots[0]
+            aux_new[own.cluster] -= 1
+        components.extend(self._headroom_components(aux_new))
+        return MeritVector(tuple(components))
+
+    def _headroom_components(self, aux_new: List[int]) -> List[float]:
+        per_cluster = self.options.mem_ops_per_cluster
+        if per_cluster is not None:
+            out = []
+            for c in range(self.machine.num_clusters):
+                headroom_total = (
+                    self.table.fu_slots_total(c, OpClass.MEM) - per_cluster.get(c, 0)
+                )
+                headroom_used = self._aux_mem_per_cluster.get(c, 0)
+                out.append(consumption(aux_new[c], headroom_total - headroom_used))
+            return out
+        total = sum(
+            self.table.fu_slots_total(c, OpClass.MEM)
+            for c in range(self.machine.num_clusters)
+        )
+        headroom_total = total - self._total_mem_ops
+        headroom_used = sum(self._aux_mem_per_cluster.values())
+        return [consumption(sum(aux_new), headroom_total - headroom_used)]
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _commit(self, candidate: Candidate) -> None:
+        candidate.overlay.commit()
+        self.placements[candidate.uid] = Placed(candidate.cluster, candidate.time)
+        new_value: Optional[ValueState] = None
+        if candidate.creates_value:
+            op = self.ddg.operation(candidate.uid)
+            new_value = ValueState(
+                producer=candidate.uid,
+                home=candidate.cluster,
+                birth=candidate.time + op.latency,
+            )
+            self.values[candidate.uid] = new_value
+        for route in candidate.routes:
+            target = new_value if route.value_key is None else self.values[route.value_key]
+            target.uses.append(route.use)
+            if route.new_transfer is not None:
+                target.transfers.append(route.new_transfer)
+                self.stats.bus_transfers += 1
+            for aux in (route.new_store, route.new_load):
+                if aux is not None:
+                    self.aux_ops.append(aux)
+                    self._aux_mem_per_cluster[aux.cluster] = (
+                        self._aux_mem_per_cluster.get(aux.cluster, 0) + 1
+                    )
+            if route.new_store is not None:
+                target.store_time = route.new_store.time
+                self.stats.mem_comms += 1
+
+    # ------------------------------------------------------------------
+    # Spill transformation (§3.3.2)
+    # ------------------------------------------------------------------
+    def _try_spill(self, cluster: int) -> bool:
+        """Spill one value to relieve ``cluster``'s register file."""
+        ranked = []
+        for value in self.values.values():
+            if value.spilled:
+                continue
+            length = self._lifetime_in_cluster(value, cluster)
+            if length > 0:
+                ranked.append((length, value.producer, value))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        for _length, _uid, value in ranked[: self.options.spill_victims_tried]:
+            if self._spill_value(value):
+                self.stats.spills += 1
+                return True
+        return False
+
+    def _lifetime_in_cluster(self, value: ValueState, cluster: int) -> int:
+        return sum(
+            segment.length
+            for segment in value_segments([value])
+            if segment.cluster == cluster
+        )
+
+    def _spill_value(self, value: ValueState) -> bool:
+        """Move ``value`` to memory and convert its register reads to loads."""
+        overlay = Overlay(self.table)
+        new_store_time: Optional[int] = None
+        if value.store_time is None:
+            new_store_time = self._find_mem_slot(
+                value.home, value.birth, value.birth + self.ii - 1, overlay,
+                prefer="early",
+            )
+            if new_store_time is None:
+                return False
+            overlay.add_fu(FUSlot(value.home, OpClass.MEM, new_store_time))
+            ready = new_store_time + STORE_LATENCY
+        else:
+            ready = value.memory_ready()
+            assert ready is not None
+
+        conversions: List[Tuple[Use, int]] = []
+        for use in value.uses:
+            if use.route != "reg" or use.consumer == value.producer:
+                continue  # self-recurrence reads must stay in registers
+            load_time = self._find_mem_slot(
+                use.cluster, ready, use.read_time - LOAD_LATENCY, overlay,
+                prefer="late",
+            )
+            if load_time is not None:
+                overlay.add_fu(FUSlot(use.cluster, OpClass.MEM, load_time))
+                conversions.append((use, load_time))
+        if not conversions:
+            return False
+        if any(use.route == "reg" and use.consumer == value.producer
+               for use in value.uses):
+            # A self-recurrence pins the home register; spilling would not
+            # shorten the home lifetime, so do not bother.
+            return False
+
+        overlay.commit()
+        if new_store_time is not None:
+            value.store_time = new_store_time
+            self.aux_ops.append(
+                AuxOp("spill_store", value.producer, value.home, new_store_time)
+            )
+            self._aux_mem_per_cluster[value.home] = (
+                self._aux_mem_per_cluster.get(value.home, 0) + 1
+            )
+        value.spilled = True
+        for use, load_time in conversions:
+            use.route = "mem"
+            use.load_time = load_time
+            self.aux_ops.append(
+                AuxOp("spill_load", value.producer, use.cluster, load_time)
+            )
+            self._aux_mem_per_cluster[use.cluster] = (
+                self._aux_mem_per_cluster.get(use.cluster, 0) + 1
+            )
+        # Bus transfers whose destination no longer reads registers are dead.
+        for transfer in list(value.transfers):
+            if not value.reg_uses_in(transfer.dst_cluster):
+                self.table.release_bus(transfer.slot)
+                value.remove_transfer(transfer)
+                self.stats.bus_transfers -= 1
+        return True

@@ -1,0 +1,88 @@
+"""The figure of merit (paper §3.3.1).
+
+Partial schedules are compared through a multi-dimensional vector of
+*consumption percentages*: for every critical resource, the fraction of the
+resource's **currently free** capacity that the candidate insertion would
+consume.  Scarce resources are thereby automatically more valuable — using
+2 of the 4 remaining bus slots costs 0.5 even if the bus started out with 32
+slots.  The components are:
+
+* one component for inter-cluster communication slots (bus cycles),
+* one per cluster for memory-port slots,
+* one per cluster for register lifetimes (register-cycles), and
+* with the §3.3.4 extension (used by the GP scheme), one per cluster for
+  the *headroom* memory slots — the slots left after the loop's own memory
+  operations are discounted, i.e. the budget available to inserted spill and
+  communication code.  URACAM models that headroom with a single global
+  component (§3.3.2).
+
+Two vectors are compared by sorting each in descending order and comparing
+pairwise until the values differ by more than a threshold; the vector with
+the smaller component at that position wins (it leaves the weakest resource
+stronger).  If every pair is close, the smaller component sum wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Default significance threshold for pairwise comparison.
+DEFAULT_THRESHOLD = 0.05
+
+
+def consumption(consumed: float, free_before: float) -> float:
+    """Fraction of the free capacity consumed; saturating at 1."""
+    if consumed <= 0:
+        return 0.0
+    if free_before <= 0:
+        return 1.0
+    return min(1.0, consumed / free_before)
+
+
+@dataclass(frozen=True)
+class MeritVector:
+    """A figure of merit: lower (in the paper's order) is better."""
+
+    components: Tuple[float, ...]
+
+    def sorted_desc(self) -> Tuple[float, ...]:
+        return tuple(sorted(self.components, reverse=True))
+
+    @property
+    def total(self) -> float:
+        return sum(self.components)
+
+
+def compare(
+    a: MeritVector, b: MeritVector, threshold: float = DEFAULT_THRESHOLD
+) -> int:
+    """Compare two figures of merit.
+
+    Returns -1 if ``a`` is better, 1 if ``b`` is better, 0 on a dead tie.
+    Vectors of different lengths are compared over the shorter prefix of
+    their sorted components (they should not differ in practice).
+    """
+    sa, sb = a.sorted_desc(), b.sorted_desc()
+    for va, vb in zip(sa, sb):
+        if abs(va - vb) > threshold:
+            return -1 if va < vb else 1
+    if a.total < b.total:
+        return -1
+    if b.total < a.total:
+        return 1
+    return 0
+
+
+def best(
+    alternatives: Sequence[Tuple[MeritVector, object]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> object:
+    """Pick the payload with the best merit; earlier entries win ties."""
+    if not alternatives:
+        raise ValueError("no alternatives to choose from")
+    best_merit, best_payload = alternatives[0]
+    for merit, payload in alternatives[1:]:
+        if compare(merit, best_merit, threshold) < 0:
+            best_merit, best_payload = merit, payload
+    return best_payload

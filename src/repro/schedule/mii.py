@@ -1,0 +1,44 @@
+"""Minimum initiation interval bounds.
+
+``MII = max(ResMII, RecMII)``:
+
+* **ResMII** — resource bound: for each functional-unit class, the
+  operations of that class divided by the machine's total units of the
+  class (pre-partition, the optimistic machine-wide bound the paper feeds
+  to the partitioner).
+* **RecMII** — recurrence bound: implemented in :mod:`repro.ir.analysis`
+  and re-exported here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.analysis import rec_mii
+from ..ir.ddg import DataDependenceGraph
+from ..ir.loop import Loop
+from ..machine.config import MachineConfig
+from ..ir.opcodes import OpClass
+
+__all__ = ["rec_mii", "res_mii", "mii"]
+
+
+def res_mii(ddg: DataDependenceGraph, machine: MachineConfig) -> int:
+    """Machine-wide resource-constrained minimum initiation interval."""
+    worst = 1
+    for op_class in OpClass:
+        count = sum(1 for op in ddg.operations() if op.op_class is op_class)
+        if count == 0:
+            continue
+        units = machine.total_units_for_class(op_class)
+        if units == 0:
+            raise ValueError(
+                f"machine {machine.name!r} has no units for {op_class} operations"
+            )
+        worst = max(worst, math.ceil(count / units))
+    return worst
+
+
+def mii(loop: Loop, machine: MachineConfig) -> int:
+    """The paper's MII: max of the resource and recurrence bounds."""
+    return max(res_mii(loop.ddg, machine), rec_mii(loop.ddg))

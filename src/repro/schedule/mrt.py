@@ -1,0 +1,189 @@
+"""Modulo reservation tables.
+
+All machine resources are tracked modulo the initiation interval:
+
+* **Functional units** — per (cluster, unit kind): at most ``units``
+  operations may issue in each kernel cycle.  Units are fully pipelined, so
+  an operation occupies its unit only at the issue cycle.  Memory units
+  double as memory ports, as in the paper's configurations.
+* **Buses** — per bus: the paper's bus is *non-pipelined*, so a transfer of
+  latency ``L`` occupies one bus for ``L`` consecutive cycles, which must be
+  distinct modulo II.
+
+Candidate evaluation must not disturb the table, so reservations can be
+staged in an :class:`Overlay` and committed only once a candidate wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.opcodes import OpClass
+from ..machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class FUSlot:
+    """A functional-unit issue slot: one op of ``op_class`` at ``cycle``."""
+
+    cluster: int
+    op_class: OpClass
+    cycle: int  # absolute issue cycle; occupancy is at cycle % II
+
+
+@dataclass(frozen=True)
+class BusSlot:
+    """A bus transfer: occupies ``bus`` for ``length`` cycles from ``start``."""
+
+    bus: int
+    start: int  # absolute cycle of the first bus cycle
+    length: int
+
+
+class ReservationTable:
+    """Committed modulo reservation state for one schedule attempt."""
+
+    def __init__(self, machine: MachineConfig, ii: int) -> None:
+        if ii < 1:
+            raise ValueError("initiation interval must be >= 1")
+        self.machine = machine
+        self.ii = ii
+        # (cluster, op_class, kernel cycle) -> used issue slots
+        self._fu_used: Dict[Tuple[int, OpClass, int], int] = {}
+        # (bus, kernel cycle) -> busy
+        self._bus_used: Dict[Tuple[int, int], bool] = {}
+
+    # -- functional units ------------------------------------------------
+    def fu_capacity(self, cluster: int, op_class: OpClass) -> int:
+        return self.machine.cluster(cluster).units_for_class(op_class)
+
+    def fu_free(self, slot: FUSlot, overlay: "Optional[Overlay]" = None) -> bool:
+        """True if one more op of the class can issue at the slot's cycle."""
+        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
+        used = self._fu_used.get(key, 0)
+        if overlay is not None:
+            used += overlay.fu_pending(key)
+        return used < self.fu_capacity(slot.cluster, slot.op_class)
+
+    def reserve_fu(self, slot: FUSlot) -> None:
+        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
+        self._fu_used[key] = self._fu_used.get(key, 0) + 1
+
+    def release_fu(self, slot: FUSlot) -> None:
+        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
+        self._fu_used[key] = self._fu_used.get(key, 0) - 1
+        if self._fu_used[key] <= 0:
+            del self._fu_used[key]
+
+    # -- buses -------------------------------------------------------------
+    def bus_cycles(self, slot: BusSlot) -> Optional[List[int]]:
+        """Kernel cycles a transfer occupies, or None if it self-overlaps.
+
+        A transfer longer than the II would collide with the next iteration's
+        instance of itself, making the slot unusable.
+        """
+        cycles = [(slot.start + k) % self.ii for k in range(slot.length)]
+        if len(set(cycles)) != slot.length:
+            return None
+        return cycles
+
+    def bus_free(self, slot: BusSlot, overlay: "Optional[Overlay]" = None) -> bool:
+        cycles = self.bus_cycles(slot)
+        if cycles is None:
+            return False
+        for cycle in cycles:
+            key = (slot.bus, cycle)
+            if self._bus_used.get(key, False):
+                return False
+            if overlay is not None and overlay.bus_pending(key):
+                return False
+        return True
+
+    def find_bus_slot(
+        self,
+        earliest: int,
+        latest_start: int,
+        length: int,
+        overlay: "Optional[Overlay]" = None,
+    ) -> Optional[BusSlot]:
+        """Earliest transfer start in ``[earliest, latest_start]`` on any bus.
+
+        Scans at most ``II`` distinct start cycles (further starts alias the
+        same kernel cycles).
+        """
+        if latest_start < earliest:
+            return None
+        limit = min(latest_start, earliest + self.ii - 1)
+        for start in range(earliest, limit + 1):
+            for bus in range(self.machine.num_buses):
+                slot = BusSlot(bus=bus, start=start, length=length)
+                if self.bus_free(slot, overlay):
+                    return slot
+        return None
+
+    def reserve_bus(self, slot: BusSlot) -> None:
+        cycles = self.bus_cycles(slot)
+        if cycles is None:
+            raise ValueError("cannot reserve a self-overlapping bus transfer")
+        for cycle in cycles:
+            self._bus_used[(slot.bus, cycle)] = True
+
+    def release_bus(self, slot: BusSlot) -> None:
+        for cycle in self.bus_cycles(slot) or []:
+            self._bus_used.pop((slot.bus, cycle), None)
+
+    # -- utilization (for the figure of merit) ----------------------------
+    def fu_slots_used(self, cluster: int, op_class: OpClass) -> int:
+        return sum(
+            used
+            for (cl, cls, _cycle), used in self._fu_used.items()
+            if cl == cluster and cls is op_class
+        )
+
+    def fu_slots_total(self, cluster: int, op_class: OpClass) -> int:
+        return self.fu_capacity(cluster, op_class) * self.ii
+
+    def bus_cycles_used(self) -> int:
+        return sum(1 for busy in self._bus_used.values() if busy)
+
+    def bus_cycles_total(self) -> int:
+        return self.machine.num_buses * self.ii
+
+
+class Overlay:
+    """Tentative reservations stacked on a :class:`ReservationTable`.
+
+    Candidate evaluation adds its would-be reservations here so that later
+    checks within the same candidate see them, without mutating the table.
+    """
+
+    def __init__(self, table: ReservationTable) -> None:
+        self.table = table
+        self._fu: Dict[Tuple[int, OpClass, int], int] = {}
+        self._bus: Dict[Tuple[int, int], bool] = {}
+        self.fu_slots: List[FUSlot] = []
+        self.bus_slots: List[BusSlot] = []
+
+    def fu_pending(self, key: Tuple[int, OpClass, int]) -> int:
+        return self._fu.get(key, 0)
+
+    def bus_pending(self, key: Tuple[int, int]) -> bool:
+        return self._bus.get(key, False)
+
+    def add_fu(self, slot: FUSlot) -> None:
+        key = (slot.cluster, slot.op_class, slot.cycle % self.table.ii)
+        self._fu[key] = self._fu.get(key, 0) + 1
+        self.fu_slots.append(slot)
+
+    def add_bus(self, slot: BusSlot) -> None:
+        for cycle in self.table.bus_cycles(slot) or []:
+            self._bus[(slot.bus, cycle)] = True
+        self.bus_slots.append(slot)
+
+    def commit(self) -> None:
+        """Write every pending reservation into the underlying table."""
+        for slot in self.fu_slots:
+            self.table.reserve_fu(slot)
+        for slot in self.bus_slots:
+            self.table.reserve_bus(slot)

@@ -1,0 +1,273 @@
+"""Schedule results and independent validation.
+
+:class:`ModuloSchedule` is the product of every scheduler in this library.
+Besides the kernel (operation placements at absolute issue cycles, reduced
+modulo II for the reservation tables) it carries the auxiliary operations
+the scheduler inserted (spill stores/loads, communication stores/loads), the
+bus transfers, and the value-use ledger from which register lifetimes
+derive.
+
+:meth:`ModuloSchedule.validate` re-checks the whole schedule from scratch —
+every dependence (including the communication evidence for cross-cluster
+values), every functional-unit and bus capacity, and the per-cluster
+MaxLives register bound — raising
+:class:`~repro.errors.ValidationError` on any violation.  The test suite
+property-tests that every scheduler's output validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..ir.opcodes import OpClass
+from ..machine.config import MachineConfig
+from .lifetimes import max_live
+from .values import (
+    LOAD_LATENCY,
+    STORE_LATENCY,
+    ValueState,
+    value_segments,
+)
+
+
+@dataclass(frozen=True)
+class Placed:
+    """Placement of one loop operation."""
+
+    cluster: int
+    time: int  # absolute issue cycle (may be negative before normalization)
+
+
+@dataclass(frozen=True)
+class AuxOp:
+    """An operation inserted by the scheduler (spill or memory comm)."""
+
+    kind: str  # 'spill_store' | 'spill_load' | 'comm_store' | 'comm_load'
+    value_producer: int
+    cluster: int
+    time: int
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind.endswith("store")
+
+
+@dataclass
+class ScheduleStats:
+    """Counters the evaluation section reports on."""
+
+    bus_transfers: int = 0
+    mem_comms: int = 0
+    spills: int = 0
+    ii_attempts: int = 0
+    partitions_computed: int = 0
+
+
+@dataclass
+class ModuloSchedule:
+    """A complete modulo schedule of one loop on one machine."""
+
+    loop: Loop
+    machine: MachineConfig
+    ii: int
+    placements: Dict[int, Placed]
+    values: Dict[int, ValueState]
+    aux_ops: List[AuxOp] = field(default_factory=list)
+    stats: ScheduleStats = field(default_factory=ScheduleStats)
+    scheduler_name: str = ""
+
+    # ------------------------------------------------------------------
+    # Shape metrics
+    # ------------------------------------------------------------------
+    @property
+    def min_time(self) -> int:
+        times = [p.time for p in self.placements.values()]
+        times += [a.time for a in self.aux_ops]
+        return min(times) if times else 0
+
+    @property
+    def makespan(self) -> int:
+        """Cycles from the first issue to the last result, one iteration."""
+        if not self.placements:
+            return 0
+        lo = self.min_time
+        hi = max(
+            p.time + self.loop.ddg.operation(uid).latency
+            for uid, p in self.placements.items()
+        )
+        for aux in self.aux_ops:
+            lat = STORE_LATENCY if aux.is_store else LOAD_LATENCY
+            hi = max(hi, aux.time + lat)
+        return hi - lo
+
+    @property
+    def stage_count(self) -> int:
+        """Kernel stages (the software pipeline depth)."""
+        if not self.placements:
+            return 1
+        lo = self.min_time
+        return max(
+            (p.time - lo) // self.ii for p in self.placements.values()
+        ) + 1
+
+    def execution_cycles(self, trip_count: Optional[int] = None) -> int:
+        """Total cycles to run the loop, prolog and epilog included.
+
+        ``(niter - 1) * II`` kernel initiations plus the span of the last
+        iteration — the standard static cycle count for a software-pipelined
+        loop with a high trip count.
+        """
+        niter = self.loop.trip_count if trip_count is None else trip_count
+        return (niter - 1) * self.ii + self.makespan
+
+    def ipc(self, trip_count: Optional[int] = None) -> float:
+        """Useful (original-loop) operations per cycle."""
+        niter = self.loop.trip_count if trip_count is None else trip_count
+        cycles = self.execution_cycles(niter)
+        if cycles <= 0:
+            return 0.0
+        return niter * self.loop.num_operations / cycles
+
+    def register_peaks(self) -> List[int]:
+        """MaxLives per cluster."""
+        return max_live(
+            value_segments(self.values.values()),
+            self.ii,
+            self.machine.num_clusters,
+        )
+
+    # ------------------------------------------------------------------
+    # Independent validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Re-verify dependences, resources and registers from scratch."""
+        self._validate_placements()
+        self._validate_dependences()
+        self._validate_functional_units()
+        self._validate_buses()
+        self._validate_registers()
+
+    def _validate_placements(self) -> None:
+        for uid in self.loop.ddg.uids():
+            if uid not in self.placements:
+                raise ValidationError(f"operation {uid} is not scheduled")
+            cluster = self.placements[uid].cluster
+            if not 0 <= cluster < self.machine.num_clusters:
+                raise ValidationError(f"operation {uid} on bogus cluster {cluster}")
+
+    def _validate_dependences(self) -> None:
+        ddg = self.loop.ddg
+        for dep in ddg.edges():
+            src, dst = self.placements[dep.src], self.placements[dep.dst]
+            separation = dst.time + self.ii * dep.distance - src.time
+            if dep.kind is not DepKind.DATA or src.cluster == dst.cluster:
+                if separation < dep.latency:
+                    raise ValidationError(
+                        f"dependence {dep.src}->{dep.dst} violated: "
+                        f"separation {separation} < latency {dep.latency}"
+                    )
+                continue
+            # Cross-cluster DATA edge: communication evidence required.
+            self._validate_communication(dep, src, dst)
+
+    def _validate_communication(self, dep, src: Placed, dst: Placed) -> None:
+        value = self.values.get(dep.src)
+        if value is None:
+            raise ValidationError(f"no value state for producer {dep.src}")
+        birth = src.time + self.loop.ddg.operation(dep.src).latency
+        read_time = dst.time + self.ii * dep.distance
+        use = self._find_use(value, dep.dst, read_time)
+
+        if use.route == "reg":
+            delivered = value.copy_available(dst.cluster)
+            if delivered is None or delivered > read_time:
+                raise ValidationError(
+                    f"value {dep.src} not in cluster {dst.cluster} registers "
+                    f"by cycle {read_time}"
+                )
+            for transfer in value.transfers:
+                if transfer.dst_cluster == dst.cluster and transfer.slot.start < birth:
+                    raise ValidationError(
+                        f"value {dep.src} transferred before it was produced"
+                    )
+        elif use.route == "mem":
+            ready = value.memory_ready()
+            if ready is None:
+                raise ValidationError(
+                    f"memory-routed use of {dep.src} but the value was never stored"
+                )
+            if value.store_time < birth:
+                raise ValidationError(f"value {dep.src} stored before produced")
+            if use.load_time is None or use.load_time < ready:
+                raise ValidationError(
+                    f"load of value {dep.src} issues before the store completes"
+                )
+            if use.load_time + LOAD_LATENCY > read_time:
+                raise ValidationError(
+                    f"load of value {dep.src} completes after the read at {read_time}"
+                )
+        else:  # pragma: no cover - defensive
+            raise ValidationError(f"unknown route {use.route!r}")
+
+    def _find_use(self, value: ValueState, consumer: int, read_time: int):
+        for use in value.uses:
+            if use.consumer == consumer and use.read_time == read_time:
+                return use
+        raise ValidationError(
+            f"no use record for consumer {consumer} of value {value.producer}"
+        )
+
+    def _validate_functional_units(self) -> None:
+        usage: Dict[Tuple[int, OpClass, int], int] = {}
+        for uid, placed in self.placements.items():
+            op = self.loop.ddg.operation(uid)
+            key = (placed.cluster, op.op_class, placed.time % self.ii)
+            usage[key] = usage.get(key, 0) + 1
+        for aux in self.aux_ops:
+            key = (aux.cluster, OpClass.MEM, aux.time % self.ii)
+            usage[key] = usage.get(key, 0) + 1
+        for (cluster, op_class, cycle), used in usage.items():
+            capacity = self.machine.cluster(cluster).units_for_class(op_class)
+            if used > capacity:
+                raise ValidationError(
+                    f"cluster {cluster} {op_class} oversubscribed at kernel "
+                    f"cycle {cycle}: {used} > {capacity}"
+                )
+
+    def _validate_buses(self) -> None:
+        busy: Dict[Tuple[int, int], int] = {}
+        for value in self.values.values():
+            for transfer in value.transfers:
+                cycles = {
+                    (transfer.slot.start + k) % self.ii
+                    for k in range(transfer.slot.length)
+                }
+                if len(cycles) != transfer.slot.length:
+                    raise ValidationError(
+                        f"transfer of value {value.producer} overlaps itself "
+                        f"(length {transfer.slot.length} > II {self.ii})"
+                    )
+                for cycle in cycles:
+                    key = (transfer.slot.bus, cycle)
+                    busy[key] = busy.get(key, 0) + 1
+        for (bus, cycle), used in busy.items():
+            if bus >= self.machine.num_buses:
+                raise ValidationError(f"transfer on nonexistent bus {bus}")
+            if used > 1:
+                raise ValidationError(
+                    f"bus {bus} double-booked at kernel cycle {cycle}"
+                )
+
+    def _validate_registers(self) -> None:
+        peaks = self.register_peaks()
+        for cluster in range(self.machine.num_clusters):
+            limit = self.machine.cluster(cluster).registers
+            if peaks[cluster] > limit:
+                raise ValidationError(
+                    f"cluster {cluster} needs {peaks[cluster]} registers, "
+                    f"has {limit}"
+                )

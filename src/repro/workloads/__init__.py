@@ -1,0 +1,18 @@
+"""Workloads: synthetic loop generators, classic kernels, the SPEC-like suite."""
+
+from .generator import LoopShape, generate_loop, generate_suite
+from .kernels import KERNELS, all_kernels
+from .spec import PROGRAM_NAMES, SUITE_SEED, Benchmark, make_benchmark, spec_suite
+
+__all__ = [
+    "Benchmark",
+    "KERNELS",
+    "LoopShape",
+    "PROGRAM_NAMES",
+    "SUITE_SEED",
+    "all_kernels",
+    "generate_loop",
+    "generate_suite",
+    "make_benchmark",
+    "spec_suite",
+]

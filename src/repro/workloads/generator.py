@@ -1,0 +1,175 @@
+"""Parameterized synthetic loop generation.
+
+The paper's workloads are the innermost loops of SPECfp95, extracted by the
+ICTINEO compiler.  Without that front-end (see DESIGN.md §2) we generate
+loop DDGs whose *shape* is controlled by the parameters real numeric loops
+differ in — operation mix, dependence fan-out, recurrence structure,
+dependence-chain depth — so the schedulers face the same pressures
+(recurrence-limited II, bus traffic, memory-port contention, register
+pressure) as on compiler-extracted loops.
+
+Generation is fully deterministic for a given :class:`LoopShape` and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+from ..ir.opcodes import (
+    ADD,
+    FADD,
+    FDIV,
+    FMUL,
+    FSUB,
+    MUL,
+    SUB,
+    Opcode,
+)
+
+#: Compute opcodes drawn for FP work, weighted towards adds/multiplies.
+_FP_POOL: Tuple[Opcode, ...] = (FADD, FADD, FMUL, FMUL, FSUB, FDIV)
+#: Compute opcodes drawn for integer work (addressing, induction updates).
+_INT_POOL: Tuple[Opcode, ...] = (ADD, ADD, SUB, MUL)
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """Structural parameters of a generated loop.
+
+    Attributes:
+        num_operations: Total operation count of the body.
+        mem_ratio: Fraction of operations that access memory.
+        store_fraction: Among memory ops, the fraction that are stores.
+        fp_ratio: Among compute ops, the fraction that are floating point.
+        avg_operands: Mean number of operands per compute operation
+            (between 1 and 2).
+        depth_bias: 0..1; higher values chain operations into longer
+            dependence paths (deep graphs), lower values produce wide,
+            parallel graphs.
+        recurrences: Number of loop-carried dependence cycles to create.
+        recurrence_distance: Iteration distance of those cycles.
+        trip_count: Profiled iteration count of the loop.
+    """
+
+    num_operations: int
+    mem_ratio: float = 0.3
+    store_fraction: float = 0.3
+    fp_ratio: float = 0.8
+    avg_operands: float = 1.6
+    depth_bias: float = 0.5
+    recurrences: int = 0
+    recurrence_distance: int = 1
+    trip_count: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_operations < 2:
+            raise ValueError("a loop needs at least two operations")
+        for label, value in (
+            ("mem_ratio", self.mem_ratio),
+            ("store_fraction", self.store_fraction),
+            ("fp_ratio", self.fp_ratio),
+            ("depth_bias", self.depth_bias),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (built-in ``hash`` varies per process)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_000_007
+    return value
+
+
+def generate_loop(name: str, shape: LoopShape, seed: int) -> Loop:
+    """Generate one loop with the requested shape, deterministically."""
+    rng = random.Random((seed * 1_000_003) ^ _stable_hash(name))
+    builder = LoopBuilder(name, trip_count=shape.trip_count)
+
+    n_mem = max(1, round(shape.num_operations * shape.mem_ratio))
+    n_stores = min(n_mem - 1, max(0, round(n_mem * shape.store_fraction)))
+    n_loads = max(1, n_mem - n_stores)
+    n_compute = max(1, shape.num_operations - n_loads - n_stores)
+
+    producers = [builder.load(f"ld{i}") for i in range(n_loads)]
+
+    compute_nodes = []
+    for i in range(n_compute):
+        pool = _FP_POOL if rng.random() < shape.fp_ratio else _INT_POOL
+        opcode = rng.choice(pool)
+        operand_count = 1 if rng.random() > (shape.avg_operands - 1.0) else 2
+        operand_count = min(operand_count, len(producers))
+        operands = []
+        for _ in range(operand_count):
+            operands.append(_pick_producer(rng, producers, shape.depth_bias))
+        node = builder.op(opcode, *operands, name=f"c{i}")
+        producers.append(node)
+        compute_nodes.append(node)
+
+    # Stores consume the most recent compute results (loop outputs).
+    sinks = compute_nodes[-n_stores:] if n_stores else []
+    for i, value in enumerate(sinks):
+        builder.store(value, name=f"st{i}")
+
+    _add_recurrences(builder, rng, compute_nodes, shape)
+
+    return builder.build()
+
+
+def _pick_producer(rng: random.Random, producers: List, depth_bias: float):
+    """Pick an operand; depth bias skews the draw towards recent producers."""
+    n = len(producers)
+    if n == 1:
+        return producers[0]
+    skew = 1.0 + 4.0 * depth_bias
+    index = int(n * (rng.random() ** (1.0 / skew)))
+    return producers[min(index, n - 1)]
+
+
+def _add_recurrences(
+    builder: LoopBuilder,
+    rng: random.Random,
+    compute_nodes: List,
+    shape: LoopShape,
+) -> None:
+    """Close loop-carried cycles over existing compute operations.
+
+    Two classic patterns: a *reduction* (an operation consuming its own
+    previous-iteration result, RecMII = latency / distance) and a two-node
+    recurrence (a back edge to a direct operand producer, RecMII =
+    (lat(u) + lat(v)) / distance).  Both are guaranteed cycles, unlike
+    random back edges which may not close a path.
+    """
+    if not compute_nodes or shape.recurrences <= 0:
+        return
+    chosen = set()
+    for _ in range(shape.recurrences):
+        node = rng.choice(compute_nodes)
+        if node.uid in chosen:
+            continue
+        chosen.add(node.uid)
+        predecessors = [
+            builder.ddg.operation(uid)
+            for uid in builder.ddg.predecessors(node.uid)
+            if uid != node.uid and not builder.ddg.operation(uid).is_store
+        ]
+        if predecessors and rng.random() < 0.5:
+            target = rng.choice(predecessors)
+            builder.recurrence(node, target, distance=shape.recurrence_distance)
+        else:
+            builder.recurrence(node, node, distance=shape.recurrence_distance)
+
+
+def generate_suite(
+    prefix: str, shapes: List[LoopShape], seed: int
+) -> List[Loop]:
+    """Generate one loop per shape with per-loop derived seeds."""
+    return [
+        generate_loop(f"{prefix}_loop{i}", shape, seed + 7919 * i)
+        for i, shape in enumerate(shapes)
+    ]

@@ -1,0 +1,146 @@
+"""Hand-written classic numerical loop kernels.
+
+These small, recognizable loops are used by the examples and as precise
+fixtures in the tests: their MII, recurrence structure and communication
+patterns are known by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+
+
+def daxpy(trip_count: int = 1000) -> Loop:
+    """``y[i] = a * x[i] + y[i]`` — no recurrence, memory bound."""
+    b = LoopBuilder("daxpy", trip_count)
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    ax = b.op("fmul", x, name="a*x")
+    s = b.op("fadd", ax, y, name="a*x+y")
+    b.store(s, "y[i]=")
+    return b.build()
+
+
+def dot_product(trip_count: int = 1000) -> Loop:
+    """``s += x[i] * y[i]`` — the classic reduction recurrence."""
+    b = LoopBuilder("dot", trip_count)
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    p = b.op("fmul", x, y, name="x*y")
+    s = b.op("fadd", p, name="s+=")
+    b.recurrence(s, s, distance=1)  # RecMII = fadd latency
+    return b.build()
+
+
+def stencil5(trip_count: int = 500) -> Loop:
+    """1-D five-point stencil — wide, memory heavy, no recurrence."""
+    b = LoopBuilder("stencil5", trip_count)
+    points = [b.load(f"a[i{o:+d}]") for o in range(-2, 3)]
+    w = [b.op("fmul", p, name=f"w{i}") for i, p in enumerate(points)]
+    s1 = b.op("fadd", w[0], w[1])
+    s2 = b.op("fadd", w[2], w[3])
+    s3 = b.op("fadd", s1, s2)
+    s4 = b.op("fadd", s3, w[4], name="sum")
+    b.store(s4, "out[i]")
+    return b.build()
+
+
+def complex_multiply(trip_count: int = 800) -> Loop:
+    """Complex vector multiply — two parallel chains, good 2-way split."""
+    b = LoopBuilder("cmul", trip_count)
+    ar, ai = b.load("a.re"), b.load("a.im")
+    br, bi = b.load("b.re"), b.load("b.im")
+    rr = b.op("fsub", b.op("fmul", ar, br), b.op("fmul", ai, bi), name="re")
+    ri = b.op("fadd", b.op("fmul", ar, bi), b.op("fmul", ai, br), name="im")
+    b.store(rr, "c.re")
+    b.store(ri, "c.im")
+    return b.build()
+
+
+def horner(trip_count: int = 600, degree: int = 6) -> Loop:
+    """Horner polynomial evaluation — one long serial chain per iteration."""
+    b = LoopBuilder("horner", trip_count)
+    x = b.load("x[i]")
+    acc = b.op("fmul", x, name="c_n*x")
+    for k in range(degree - 1):
+        acc = b.op("fadd", acc, name=f"+c{k}")
+        acc = b.op("fmul", acc, x, name=f"*x{k}")
+    b.store(acc, "p[i]")
+    return b.build()
+
+
+def fir_filter(trip_count: int = 700, taps: int = 4) -> Loop:
+    """FIR filter — loads per tap feeding a balanced reduction tree."""
+    b = LoopBuilder("fir", trip_count)
+    partials = [
+        b.op("fmul", b.load(f"x[i-{t}]"), name=f"tap{t}") for t in range(taps)
+    ]
+    while len(partials) > 1:
+        partials = [
+            b.op("fadd", partials[k], partials[k + 1])
+            if k + 1 < len(partials)
+            else partials[k]
+            for k in range(0, len(partials), 2)
+        ]
+    b.store(partials[0], "y[i]")
+    return b.build()
+
+
+def recurrence_chain(trip_count: int = 400) -> Loop:
+    """First-order linear recurrence ``s[i] = a*s[i-1] + b[i]`` — RecMII 6."""
+    b = LoopBuilder("linrec", trip_count)
+    bv = b.load("b[i]")
+    prod = b.op("fmul", name="a*s")
+    s = b.op("fadd", prod, bv, name="s[i]")
+    b.recurrence(s, prod, distance=1)
+    b.store(s, "s[i]=")
+    return b.build()
+
+
+def livermore_hydro(trip_count: int = 400) -> Loop:
+    """Livermore kernel 1 (hydro fragment): ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``."""
+    b = LoopBuilder("ll1_hydro", trip_count)
+    z10 = b.load("z[k+10]")
+    z11 = b.load("z[k+11]")
+    y = b.load("y[k]")
+    rz = b.op("fmul", z10, name="r*z10")
+    tz = b.op("fmul", z11, name="t*z11")
+    inner = b.op("fadd", rz, tz)
+    prod = b.op("fmul", y, inner)
+    x = b.op("fadd", prod, name="q+")
+    b.store(x, "x[k]")
+    return b.build()
+
+
+def tridiagonal(trip_count: int = 300) -> Loop:
+    """Livermore kernel 5 (tri-diagonal elimination) — tight recurrence."""
+    b = LoopBuilder("tridiag", trip_count)
+    y = b.load("y[i]")
+    z = b.load("z[i]")
+    prev = b.op("fmul", y, name="y*x[i-1]")
+    x = b.op("fsub", z, prev, name="x[i]")
+    b.recurrence(x, prev, distance=1)
+    b.store(x, "x[i]=")
+    return b.build()
+
+
+#: All kernels by name (used by examples and parametrized tests).
+KERNELS: Dict[str, Callable[[], Loop]] = {
+    "daxpy": daxpy,
+    "dot": dot_product,
+    "stencil5": stencil5,
+    "cmul": complex_multiply,
+    "horner": horner,
+    "fir": fir_filter,
+    "linrec": recurrence_chain,
+    "ll1_hydro": livermore_hydro,
+    "tridiag": tridiagonal,
+}
+
+
+def all_kernels() -> List[Loop]:
+    """Instantiate every kernel with its default trip count."""
+    return [factory() for factory in KERNELS.values()]

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface and machine-spec parsing."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_machine
+from repro.errors import ReproError
+
+
+class TestParseMachine:
+    def test_simple_spec(self):
+        machine = parse_machine("2x32")
+        assert machine.num_clusters == 2
+        assert machine.total_registers == 32
+
+    def test_unified_spec(self):
+        machine = parse_machine("1x64")
+        assert not machine.is_clustered
+
+    def test_full_spec(self):
+        machine = parse_machine("4x64x2x2")
+        assert machine.num_clusters == 4
+        assert machine.num_buses == 2
+        assert machine.bus_latency == 2
+
+    def test_dsp_preset(self):
+        machine = parse_machine("c6x")
+        assert machine.num_clusters == 2
+        assert machine.issue_width == 8
+
+    def test_bad_spec(self):
+        with pytest.raises(ReproError):
+            parse_machine("banana")
+        with pytest.raises(ReproError):
+            parse_machine("2")
+
+
+class TestCommands:
+    def test_schedule_kernel(self, capsys):
+        assert main(["schedule", "--kernel", "daxpy", "--machine", "2x32"]) == 0
+        out = capsys.readouterr().out
+        assert "II=" in out
+        assert "kernel of 'daxpy'" in out
+
+    def test_schedule_unknown_kernel(self, capsys):
+        assert main(["schedule", "--kernel", "nope"]) == 2
+
+    def test_schedule_from_json_file(self, tmp_path, capsys):
+        from repro.ir.serialize import save
+        from repro.workloads.kernels import dot_product
+
+        path = tmp_path / "dot.json"
+        save(dot_product(), str(path))
+        assert main(["schedule", "--loop-file", str(path)]) == 0
+        assert "dot" in capsys.readouterr().out
+
+    def test_schedule_every_algorithm(self, capsys):
+        for algorithm in ("uracam", "fixed-partition", "gp"):
+            code = main(
+                ["schedule", "--kernel", "cmul", "--algorithm", algorithm]
+            )
+            assert code == 0
+
+    def test_evaluate_json_format(self, capsys):
+        code = main(
+            ["evaluate", "--clusters", "2", "--registers", "32",
+             "--programs", "1", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "averages" in payload
+        assert set(payload["series"]) == {
+            "unified", "uracam", "fixed-partition", "gp"
+        }
+
+    def test_evaluate_csv_format(self, capsys):
+        code = main(
+            ["evaluate", "--programs", "1", "--format", "csv"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("benchmark,")
+        assert lines[-1].startswith("AVERAGE,")
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads", "--program", "swim"]) == 0
+        out = capsys.readouterr().out
+        assert "swim_loop0" in out
+
+    def test_machines_listing(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "unified-32r" in out and "c6x" in out
+
+    def test_parser_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"

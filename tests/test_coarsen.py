@@ -1,0 +1,86 @@
+"""Unit tests for multilevel coarsening."""
+
+from repro.ir.builder import LoopBuilder
+from repro.partition.coarsen import build_hierarchy
+from repro.partition.matching import exact_matching
+from repro.partition.weights import compute_edge_weights
+from repro.workloads.generator import LoopShape, generate_loop
+
+
+def small_loop():
+    b = LoopBuilder("small", 50)
+    x = b.load()
+    y = b.load()
+    a = b.op("fmul", x)
+    c = b.op("fadd", a, y)
+    d = b.op("fmul", c)
+    b.store(d)
+    return b.build()
+
+
+def hierarchy_for(loop, clusters=2, matcher=None):
+    w = compute_edge_weights(loop, ii=1, bus_latency=1)
+    if matcher is None:
+        return build_hierarchy(w, clusters), w
+    return build_hierarchy(w, clusters, matcher), w
+
+
+class TestHierarchy:
+    def test_finest_level_is_singletons(self):
+        loop = small_loop()
+        h, _ = hierarchy_for(loop)
+        assert all(len(uids) == 1 for uids in h.levels[0].values())
+        assert len(h.levels[0]) == loop.num_operations
+
+    def test_coarsest_reaches_cluster_count(self):
+        loop = small_loop()
+        h, _ = hierarchy_for(loop, clusters=2)
+        assert len(h.coarsest()) == 2
+
+    def test_levels_partition_all_operations(self):
+        loop = generate_loop("g", LoopShape(20, trip_count=60), seed=3)
+        h, _ = hierarchy_for(loop)
+        all_uids = set(loop.ddg.uids())
+        for level in h.levels:
+            seen = [uid for uids in level.values() for uid in uids]
+            assert sorted(seen) == sorted(all_uids)
+
+    def test_levels_strictly_shrink(self):
+        loop = generate_loop("g2", LoopShape(18, trip_count=60), seed=5)
+        h, _ = hierarchy_for(loop)
+        sizes = [len(level) for level in h.levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_group_of_map_inverts_levels(self):
+        loop = small_loop()
+        h, _ = hierarchy_for(loop)
+        for idx in range(h.num_levels):
+            mapping = h.group_of_map(idx)
+            for gid, uids in h.levels[idx].items():
+                for uid in uids:
+                    assert mapping[uid] == gid
+
+    def test_exact_matcher_also_works(self):
+        loop = small_loop()
+        h, _ = hierarchy_for(loop, matcher=exact_matching)
+        assert len(h.coarsest()) == 2
+
+    def test_heavy_pair_fused_first(self):
+        """The heaviest edge's endpoints share a group after one step."""
+        loop = small_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        heaviest = max(
+            range(len(w.edge_list())), key=lambda i: w.weight_of(i)
+        )
+        dep = w.edge_list()[heaviest]
+        h = build_hierarchy(w, 2)
+        if h.num_levels > 1:
+            mapping = h.group_of_map(1)
+            assert mapping[dep.src] == mapping[dep.dst]
+
+    def test_four_cluster_target(self):
+        loop = generate_loop("g3", LoopShape(24, trip_count=60), seed=9)
+        w = compute_edge_weights(loop, ii=2, bus_latency=1)
+        h = build_hierarchy(w, 4)
+        assert len(h.coarsest()) == 4

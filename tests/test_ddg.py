@@ -1,0 +1,167 @@
+"""Unit tests for the data dependence graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.ddg import DataDependenceGraph, DepKind, Dependence
+from repro.ir.opcodes import ADD, FADD, LOAD, STORE
+
+
+def make_pair():
+    ddg = DataDependenceGraph("g")
+    a = ddg.add_operation(LOAD, "a")
+    b = ddg.add_operation(FADD, "b")
+    return ddg, a, b
+
+
+class TestConstruction:
+    def test_add_operation_assigns_sequential_uids(self):
+        ddg, a, b = make_pair()
+        assert (a.uid, b.uid) == (0, 1)
+
+    def test_operation_lookup(self):
+        ddg, a, _b = make_pair()
+        assert ddg.operation(a.uid) is a
+
+    def test_operation_lookup_unknown_uid_raises(self):
+        ddg, *_ = make_pair()
+        with pytest.raises(GraphError):
+            ddg.operation(99)
+
+    def test_add_dependence_defaults_latency_to_producer(self):
+        ddg, a, b = make_pair()
+        dep = ddg.add_dependence(a, b)
+        assert dep.latency == LOAD.latency
+
+    def test_add_dependence_explicit_latency(self):
+        ddg, a, b = make_pair()
+        dep = ddg.add_dependence(a, b, latency=7)
+        assert dep.latency == 7
+
+    def test_foreign_operation_rejected(self):
+        ddg, a, _b = make_pair()
+        other = DataDependenceGraph("other")
+        c = other.add_operation(ADD, "c")
+        with pytest.raises(GraphError):
+            ddg.add_dependence(a, c)
+
+    def test_zero_distance_self_edge_rejected(self):
+        ddg, a, _b = make_pair()
+        with pytest.raises(GraphError):
+            ddg.add_dependence(a, a)
+
+    def test_loop_carried_self_edge_allowed(self):
+        ddg = DataDependenceGraph()
+        acc = ddg.add_operation(FADD, "acc")
+        dep = ddg.add_dependence(acc, acc, distance=1)
+        assert dep.is_loop_carried
+
+    def test_store_cannot_produce_data_value(self):
+        ddg = DataDependenceGraph()
+        st = ddg.add_operation(STORE, "st")
+        use = ddg.add_operation(FADD, "use")
+        with pytest.raises(GraphError):
+            ddg.add_dependence(st, use)
+
+    def test_store_can_order_via_mem_edge(self):
+        ddg = DataDependenceGraph()
+        st = ddg.add_operation(STORE, "st")
+        ld = ddg.add_operation(LOAD, "ld")
+        dep = ddg.add_dependence(st, ld, latency=1, kind=DepKind.MEM)
+        assert not dep.carries_value
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(GraphError):
+            Dependence(0, 1, latency=-1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(GraphError):
+            Dependence(0, 1, latency=1, distance=-2)
+
+
+class TestAccessors:
+    def test_counts(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b)
+        assert ddg.num_operations == 2
+        assert ddg.num_edges == 1
+
+    def test_successors_and_predecessors_dedupe(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b)
+        ddg.add_dependence(a, b, latency=1, kind=DepKind.MEM)
+        assert ddg.successors(a.uid) == [b.uid]
+        assert ddg.predecessors(b.uid) == [a.uid]
+
+    def test_consumers_of_value_excludes_order_edges(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b, kind=DepKind.MEM, latency=1)
+        ddg.add_dependence(a, b)
+        uses = ddg.consumers_of_value(a.uid)
+        assert len(uses) == 1
+        assert uses[0].carries_value
+
+    def test_count_by_class(self):
+        ddg, _a, _b = make_pair()
+        counts = ddg.count_by_class()
+        assert counts == {"mem": 1, "fp": 1}
+
+    def test_edges_iterates_everything(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b)
+        ddg.add_dependence(b, a, distance=1)
+        assert len(list(ddg.edges())) == 2
+
+
+class TestValidation:
+    def test_acyclic_graph_validates(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b)
+        ddg.validate()
+
+    def test_zero_distance_cycle_rejected(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(FADD, "a")
+        b = ddg.add_operation(FADD, "b")
+        ddg.add_dependence(a, b)
+        ddg.add_dependence(b, a)
+        with pytest.raises(GraphError):
+            ddg.validate()
+
+    def test_cycle_with_distance_validates(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(FADD, "a")
+        b = ddg.add_operation(FADD, "b")
+        ddg.add_dependence(a, b)
+        ddg.add_dependence(b, a, distance=1)
+        ddg.validate()
+
+    def test_topological_order_respects_edges(self):
+        ddg = DataDependenceGraph()
+        ops = [ddg.add_operation(ADD, f"n{i}") for i in range(5)]
+        for i in range(4):
+            ddg.add_dependence(ops[i], ops[i + 1])
+        order = ddg.topological_order()
+        assert order == [op.uid for op in ops]
+
+    def test_topological_order_ignores_carried_edges(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(FADD, "a")
+        b = ddg.add_operation(FADD, "b")
+        ddg.add_dependence(a, b)
+        ddg.add_dependence(b, a, distance=1)
+        assert ddg.topological_order() == [a.uid, b.uid]
+
+
+class TestExport:
+    def test_dot_contains_nodes_and_edges(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b)
+        dot = ddg.to_dot()
+        assert "digraph" in dot
+        assert f"n{a.uid} -> n{b.uid}" in dot
+
+    def test_dot_marks_order_edges_dashed(self):
+        ddg, a, b = make_pair()
+        ddg.add_dependence(a, b, latency=1, kind=DepKind.MEM)
+        assert "dashed" in ddg.to_dot()

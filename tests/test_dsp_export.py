@@ -1,0 +1,102 @@
+"""Tests for the DSP presets and the result-export helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval.export import (
+    benchmark_result_to_dict,
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    suite_result_to_dict,
+    table2_to_csv,
+)
+from repro.eval.figures import FigureResult, Table2Result
+from repro.eval.runner import run_suite
+from repro.machine.dsp import DSP_PRESETS, lx_like, tigersharc_like, tms320c6x_like
+from repro.schedule.drivers import GPScheduler
+from repro.workloads.spec import Benchmark
+from repro.workloads.kernels import daxpy, complex_multiply
+
+
+class TestDSPPresets:
+    def test_c6x_shape(self):
+        machine = tms320c6x_like()
+        assert machine.num_clusters == 2
+        assert machine.issue_width == 8
+        assert machine.bus_latency == 1
+
+    def test_lx_shape(self):
+        machine = lx_like()
+        assert machine.num_clusters == 4
+        assert machine.bus_latency == 2
+
+    def test_tigersharc_dual_bus(self):
+        machine = tigersharc_like()
+        assert machine.num_buses == 2
+
+    def test_presets_registry(self):
+        assert set(DSP_PRESETS) == {"c6x", "lx", "tigersharc"}
+
+    @pytest.mark.parametrize("name", sorted(DSP_PRESETS))
+    def test_gp_schedules_on_every_preset(self, name):
+        machine = DSP_PRESETS[name]()
+        outcome = GPScheduler(machine).schedule(complex_multiply())
+        assert outcome.ipc() > 0
+        if outcome.is_modulo:
+            outcome.schedule.validate()
+
+
+def tiny_figure():
+    fig = FigureResult(title="t", benchmarks=["a", "b"])
+    fig.series["uracam"] = [1.0, 2.0]
+    fig.series["gp"] = [1.5, 2.5]
+    return fig
+
+
+class TestFigureExport:
+    def test_csv_shape(self):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(tiny_figure()))))
+        assert rows[0] == ["benchmark", "uracam", "gp"]
+        assert rows[1][0] == "a"
+        assert rows[-1][0] == "AVERAGE"
+        assert float(rows[-1][2]) == pytest.approx(2.0)
+
+    def test_json_round_trip(self):
+        payload = json.loads(figure_to_json(tiny_figure()))
+        assert payload["averages"]["gp"] == pytest.approx(2.0)
+
+    def test_dict_contains_series(self):
+        data = figure_to_dict(tiny_figure())
+        assert data["series"]["uracam"] == [1.0, 2.0]
+
+
+class TestTable2Export:
+    def test_csv(self):
+        table = Table2Result(
+            configs=["m1"],
+            seconds={"m1": {"uracam": 0.5, "gp": 0.25, "fixed-partition": 0.3}},
+        )
+        rows = list(csv.reader(io.StringIO(table2_to_csv(table))))
+        assert rows[0][0] == "config"
+        assert rows[1][0] == "m1"
+
+
+class TestSuiteExport:
+    def test_full_drilldown(self):
+        from repro.machine.presets import two_cluster
+
+        suite = [Benchmark(name="mini", loops=(daxpy(),))]
+        result = run_suite(suite, GPScheduler(two_cluster(64)))
+        data = suite_result_to_dict(result)
+        assert data["scheduler"] == "gp"
+        loop_entry = data["benchmarks"]["mini"]["loops"][0]
+        assert loop_entry["loop"] == "daxpy"
+        assert loop_entry["modulo"] in (True, False)
+        if loop_entry["modulo"]:
+            assert loop_entry["ii"] >= 1
+        # The export must be JSON-serializable end to end.
+        json.dumps(data)

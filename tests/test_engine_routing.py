@@ -1,0 +1,154 @@
+"""Focused tests of the engine's value-routing machinery."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.presets import four_cluster, two_cluster
+from repro.schedule.engine import (
+    EngineOptions,
+    FixedClusterPolicy,
+    SchedulingEngine,
+)
+from repro.schedule.values import LOAD_LATENCY, STORE_LATENCY
+
+
+def split_daxpy_engine(machine, ii, **options):
+    from repro.workloads.kernels import daxpy
+
+    loop = daxpy()
+    uids = loop.ddg.uids()
+    assignment = {uid: 0 for uid in uids[:2]}
+    assignment.update({uid: 1 for uid in uids[2:]})
+    return loop, SchedulingEngine(
+        loop, machine, ii, FixedClusterPolicy(assignment),
+        EngineOptions(**options),
+    )
+
+
+class TestBusRouting:
+    def test_transfer_timing_respects_birth_and_read(self):
+        machine = two_cluster(64)
+        loop, engine = split_daxpy_engine(machine, 3)
+        sched = engine.attempt()
+        assert sched is not None
+        for value in sched.values.values():
+            producer = sched.placements[value.producer]
+            birth = producer.time + loop.ddg.operation(value.producer).latency
+            for transfer in value.transfers:
+                assert transfer.slot.start >= birth
+                delivered = transfer.slot.start + transfer.slot.length
+                reads = [
+                    u.read_time
+                    for u in value.uses
+                    if u.cluster == transfer.dst_cluster and u.route == "reg"
+                ]
+                assert any(delivered <= r for r in reads)
+
+    def test_transfer_length_matches_bus_latency(self):
+        machine = two_cluster(64, bus_latency=2)
+        _loop, engine = split_daxpy_engine(machine, 5)
+        sched = engine.attempt()
+        assert sched is not None
+        lengths = {
+            t.slot.length for v in sched.values.values() for t in v.transfers
+        }
+        assert lengths <= {2}
+
+    def test_one_transfer_serves_multiple_consumers(self):
+        """Two remote consumers of the same value share one bus transfer."""
+        b = LoopBuilder("fanout", 100)
+        x = b.load("x")
+        u = b.op("fadd", x, name="u")
+        v = b.op("fmul", x, name="v")
+        b.store(b.op("fadd", u, v))
+        loop = b.build()
+        machine = two_cluster(64)
+        uids = loop.ddg.uids()
+        assignment = {uid: 1 for uid in uids}
+        assignment[x.uid] = 0
+        engine = SchedulingEngine(
+            loop, machine, 4, FixedClusterPolicy(assignment), EngineOptions()
+        )
+        sched = engine.attempt()
+        assert sched is not None
+        sched.validate()
+        x_transfers = sched.values[x.uid].transfers
+        assert len(x_transfers) == 1
+
+
+class TestMemoryRouting:
+    def test_store_load_ordering(self):
+        machine = two_cluster(64)
+        _loop, engine = split_daxpy_engine(machine, 6)
+        # Kill the bus entirely to force memory routes.
+        from repro.schedule.mrt import BusSlot
+
+        for cycle in range(6):
+            engine.table.reserve_bus(BusSlot(0, cycle, 1))
+        sched = engine.attempt()
+        assert sched is not None
+        sched.validate()
+        assert sched.stats.mem_comms >= 1
+        for value in sched.values.values():
+            if value.store_time is None:
+                continue
+            ready = value.store_time + STORE_LATENCY
+            for use in value.uses:
+                if use.route == "mem":
+                    assert use.load_time >= ready
+                    assert use.load_time + LOAD_LATENCY <= use.read_time
+
+    def test_aux_ops_occupy_memory_ports(self):
+        machine = two_cluster(64)
+        _loop, engine = split_daxpy_engine(machine, 6)
+        from repro.schedule.mrt import BusSlot
+
+        for cycle in range(6):
+            engine.table.reserve_bus(BusSlot(0, cycle, 1))
+        sched = engine.attempt()
+        assert sched is not None
+        # Validator already checks port capacity including aux ops; also
+        # check the stats agree with the aux op list.
+        stores = sum(1 for a in sched.aux_ops if a.kind == "comm_store")
+        loads = sum(1 for a in sched.aux_ops if a.kind == "comm_load")
+        assert stores == sched.stats.mem_comms
+        assert loads >= stores
+
+
+class TestSelfRecurrence:
+    def test_accumulator_stays_in_registers(self):
+        """A self-recurrent value must never be spilled."""
+        from repro.workloads.kernels import dot_product
+        from repro.machine.config import ClusterConfig, MachineConfig
+
+        machine = MachineConfig(
+            "few-regs", clusters=(ClusterConfig(4, 4, 4, 6),)
+        )
+        loop = dot_product()
+        from repro.schedule.engine import AllClustersPolicy
+
+        engine = SchedulingEngine(
+            loop, machine, 3, AllClustersPolicy(1), EngineOptions()
+        )
+        sched = engine.attempt()
+        assert sched is not None
+        acc_values = [
+            v for v in sched.values.values()
+            if any(u.consumer == v.producer for u in v.uses)
+        ]
+        assert acc_values
+        assert all(not v.spilled for v in acc_values)
+
+
+class TestWindowSemantics:
+    def test_forward_window_is_ii_wide(self):
+        machine = two_cluster(64)
+        _loop, engine = split_daxpy_engine(machine, 4)
+        # Schedule the first node; the second node's window must start at
+        # its dependence-ready cycle and span exactly II slots.
+        from repro.schedule.ordering import sms_order
+
+        order = sms_order(engine.ddg, 4)
+        assert engine._schedule_node(order[0])
+        window = engine._window(order[1])
+        assert len(list(window)) <= 4

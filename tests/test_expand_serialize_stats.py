@@ -1,0 +1,155 @@
+"""Tests for schedule expansion, loop serialization and graph statistics."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.ir.builder import LoopBuilder
+from repro.ir.serialize import dumps, load, loads, loop_from_dict, loop_to_dict, save
+from repro.ir.stats import describe, graph_stats
+from repro.machine.presets import two_cluster, unified
+from repro.schedule.drivers import GPScheduler, UnifiedScheduler
+from repro.schedule.expand import expand, render_kernel
+from repro.workloads.kernels import daxpy, dot_product, stencil5
+from repro.workloads.generator import LoopShape, generate_loop
+
+
+class TestExpand:
+    def _schedule(self, loop=None, machine=None):
+        loop = loop or daxpy()
+        machine = machine or two_cluster(64)
+        outcome = GPScheduler(machine).schedule(loop)
+        assert outcome.is_modulo
+        return outcome.schedule
+
+    def test_expansion_verifies_clean_schedule(self):
+        schedule = self._schedule()
+        trace = expand(schedule, iterations=8)
+        assert trace.total_cycles > 0
+        assert trace.iterations == 8
+
+    def test_total_cycles_matches_closed_form(self):
+        schedule = self._schedule()
+        for niter in (4, 9, 16):
+            trace = expand(schedule, iterations=niter)
+            assert trace.total_cycles == schedule.execution_cycles(niter)
+
+    def test_steady_state_utilization(self):
+        loop = stencil5()
+        schedule = self._schedule(loop, unified(64))
+        trace = expand(schedule, iterations=20)
+        # Per iteration the machine issues loop.num_operations ops in ~II
+        # cycles; utilization approaches ops/II for large traces.
+        expected = loop.num_operations / schedule.ii
+        assert trace.utilization() == pytest.approx(expected, rel=0.35)
+
+    def test_corrupted_schedule_caught(self):
+        from repro.schedule.result import Placed
+
+        schedule = self._schedule()
+        # Put every operation at cycle 0 with II=1: certain oversubscription.
+        broken_placements = {
+            uid: Placed(p.cluster, 0) for uid, p in schedule.placements.items()
+        }
+        schedule.placements = broken_placements
+        schedule.ii = 1
+        with pytest.raises(ValidationError):
+            expand(schedule, iterations=2)
+
+    def test_render_kernel_mentions_all_ops(self):
+        schedule = self._schedule()
+        listing = render_kernel(schedule)
+        for op in schedule.loop.ddg.operations():
+            assert op.name.split("[")[0] in listing
+        assert f"II={schedule.ii}" in listing
+
+    def test_recurrence_loop_expands(self):
+        schedule = self._schedule(dot_product(), unified(64))
+        trace = expand(schedule, iterations=10)
+        assert trace.total_cycles >= 10 * schedule.ii
+
+
+class TestSerialize:
+    def test_round_trip_structure(self):
+        loop = generate_loop(
+            "ser", LoopShape(18, recurrences=1, trip_count=70), seed=5
+        )
+        restored = loads(dumps(loop))
+        assert restored.name == loop.name
+        assert restored.trip_count == loop.trip_count
+        assert restored.num_operations == loop.num_operations
+        assert sorted(
+            (d.src, d.dst, d.latency, d.distance, d.kind.value)
+            for d in restored.ddg.edges()
+        ) == sorted(
+            (d.src, d.dst, d.latency, d.distance, d.kind.value)
+            for d in loop.ddg.edges()
+        )
+
+    def test_round_trip_schedules_identically(self):
+        loop = daxpy()
+        restored = loads(dumps(loop))
+        machine = two_cluster(64)
+        a = GPScheduler(machine).schedule(loop)
+        b = GPScheduler(machine).schedule(restored)
+        assert a.schedule.ii == b.schedule.ii
+        assert a.ipc() == pytest.approx(b.ipc())
+
+    def test_custom_opcode_round_trip(self):
+        from repro.ir.opcodes import Opcode, OpClass
+
+        b = LoopBuilder("custom", 10)
+        mac = Opcode("mac", OpClass.FP, 4)
+        x = b.load()
+        b.op(mac, x)
+        loop = b.build()
+        restored = loads(dumps(loop))
+        ops = restored.ddg.operations()
+        assert ops[1].opcode.name == "mac"
+        assert ops[1].opcode.latency == 4
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "loop.json"
+        save(daxpy(), str(path))
+        restored = load(str(path))
+        assert restored.num_operations == 5
+
+    def test_sparse_uids_rejected(self):
+        data = loop_to_dict(daxpy())
+        data["operations"][0]["uid"] = 99
+        with pytest.raises(GraphError):
+            loop_from_dict(data)
+
+    def test_json_is_valid(self):
+        parsed = json.loads(dumps(daxpy()))
+        assert parsed["name"] == "daxpy"
+        assert len(parsed["operations"]) == 5
+
+
+class TestStats:
+    def test_daxpy_stats(self):
+        stats = graph_stats(daxpy())
+        assert stats.operations == 5
+        assert stats.by_class == {"mem": 3, "fp": 2}
+        assert stats.recurrences == 0
+        assert stats.critical_path == 2 + 3 + 3 + 1
+        assert stats.store_fraction == pytest.approx(1 / 3)
+
+    def test_reduction_stats(self):
+        stats = graph_stats(dot_product())
+        assert stats.recurrences == 1
+        assert stats.rec_mii == 3
+        assert stats.loop_carried_edges == 1
+
+    def test_parallelism_bound(self):
+        stats = graph_stats(stencil5())
+        # 15 ops over a 15-cycle critical path: ILP bound of exactly 1 op
+        # per critical cycle, with 5 independent loads at the top level.
+        assert stats.parallelism() == pytest.approx(1.0)
+        assert stats.max_width >= 5  # the five loads are independent
+
+    def test_describe_is_compact(self):
+        text = describe(daxpy())
+        assert "daxpy" in text and "RecMII" in text
+        assert "\n" not in text

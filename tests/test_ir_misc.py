@@ -1,0 +1,124 @@
+"""Unit tests for opcodes, operations, loops and the builder."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.ddg import DepKind
+from repro.ir.loop import Loop
+from repro.ir.opcodes import (
+    ADD,
+    FADD,
+    LOAD,
+    OPCODES,
+    STORE,
+    OpClass,
+    Opcode,
+    opcode,
+)
+from repro.ir.operation import Operation
+
+
+class TestOpcodes:
+    def test_lookup_by_name(self):
+        assert opcode("fadd") is FADD
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            opcode("bogus")
+
+    def test_all_opcodes_have_positive_latency(self):
+        assert all(op.latency >= 1 for op in OPCODES.values())
+
+    def test_zero_latency_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Opcode("bad", OpClass.INT, 0)
+
+    def test_store_flag(self):
+        assert STORE.is_store
+        assert not LOAD.is_store
+
+    def test_classes_cover_expected_kinds(self):
+        assert {op.op_class for op in OPCODES.values()} == set(OpClass)
+
+
+class TestOperation:
+    def test_default_name(self):
+        op = Operation(3, ADD)
+        assert op.name == "op3"
+
+    def test_equality_by_uid(self):
+        assert Operation(1, ADD) == Operation(1, FADD)
+        assert Operation(1, ADD) != Operation(2, ADD)
+
+    def test_hashable(self):
+        assert len({Operation(1, ADD), Operation(1, FADD)}) == 1
+
+    def test_latency_and_class_delegate_to_opcode(self):
+        op = Operation(0, FADD)
+        assert op.latency == FADD.latency
+        assert op.op_class is OpClass.FP
+
+    def test_is_memory(self):
+        assert Operation(0, LOAD).is_memory
+        assert not Operation(0, ADD).is_memory
+
+
+class TestLoop:
+    def test_trip_count_must_be_positive(self, daxpy_loop):
+        with pytest.raises(ValueError):
+            Loop(daxpy_loop.ddg, trip_count=0)
+
+    def test_name_defaults_to_graph_name(self, daxpy_loop):
+        assert daxpy_loop.name == "daxpy"
+
+    def test_total_dynamic_operations(self, daxpy_loop):
+        assert (
+            daxpy_loop.total_dynamic_operations()
+            == daxpy_loop.num_operations * daxpy_loop.trip_count
+        )
+
+
+class TestBuilder:
+    def test_builds_valid_loop(self):
+        b = LoopBuilder("t", trip_count=10)
+        x = b.load("x")
+        y = b.op("fadd", x)
+        b.store(y)
+        loop = b.build()
+        assert loop.num_operations == 3
+        loop.ddg.validate()
+
+    def test_operands_create_data_edges(self):
+        b = LoopBuilder("t")
+        x = b.load()
+        y = b.op("fadd", x)
+        deps = b.ddg.in_edges(y.uid)
+        assert len(deps) == 1
+        assert deps[0].kind is DepKind.DATA
+
+    def test_recurrence_adds_carried_edge(self):
+        b = LoopBuilder("t")
+        s = b.op("fadd")
+        b.recurrence(s, s, distance=1)
+        self_edges = [d for d in b.ddg.out_edges(s.uid) if d.dst == s.uid]
+        assert self_edges[0].distance == 1
+
+    def test_memory_order_edge_kind(self):
+        b = LoopBuilder("t")
+        v = b.op("fadd")
+        st = b.store(v)
+        ld = b.load()
+        b.memory_order(st, ld)
+        kinds = {d.kind for d in b.ddg.out_edges(st.uid)}
+        assert DepKind.MEM in kinds
+
+    def test_build_overrides_trip_count(self):
+        b = LoopBuilder("t", trip_count=10)
+        b.load()
+        b.op("fadd")
+        assert b.build(trip_count=99).trip_count == 99
+
+    def test_opcode_instance_accepted(self):
+        b = LoopBuilder("t")
+        node = b.op(FADD)
+        assert node.opcode is FADD

@@ -1,0 +1,158 @@
+"""Unit tests for lifetimes, the figure of merit, and value tracking."""
+
+import pytest
+
+from repro.machine.presets import two_cluster
+from repro.schedule.lifetimes import (
+    LiveSegment,
+    fits_registers,
+    max_live,
+    overflowing_clusters,
+    pressure_by_cycle,
+    register_cycles,
+)
+from repro.schedule.merit import MeritVector, best, compare, consumption
+from repro.schedule.mrt import BusSlot
+from repro.schedule.values import (
+    BusTransfer,
+    Use,
+    ValueState,
+    value_segments,
+)
+
+
+class TestLifetimes:
+    def test_single_segment_counts(self):
+        seg = LiveSegment(0, 0, 3)
+        counts = pressure_by_cycle([seg], ii=4, num_clusters=1)
+        assert counts[0] == [1, 1, 1, 0]
+
+    def test_wraparound_overlap(self):
+        # Lifetime 6 at II=4: every kernel cycle holds one instance, and
+        # two cycles hold two overlapping iterations.
+        seg = LiveSegment(0, 1, 7)
+        counts = pressure_by_cycle([seg], ii=4, num_clusters=1)
+        assert sorted(counts[0]) == [1, 1, 2, 2]
+        assert max_live([seg], 4, 1) == [2]
+
+    def test_lifetime_multiple_of_ii(self):
+        seg = LiveSegment(0, 0, 8)
+        assert max_live([seg], ii=4, num_clusters=1) == [2]
+
+    def test_zero_length_counts_one_cycle(self):
+        seg = LiveSegment(0, 5, 5)
+        assert max_live([seg], 4, 1) == [1]
+
+    def test_clusters_separate(self):
+        segs = [LiveSegment(0, 0, 2), LiveSegment(1, 0, 2)]
+        assert max_live(segs, 2, 2) == [1, 1]
+
+    def test_register_cycles_sums_lengths(self):
+        segs = [LiveSegment(0, 0, 3), LiveSegment(0, 10, 14), LiveSegment(1, 0, 1)]
+        assert register_cycles(segs, 2) == [7, 1]
+
+    def test_fits_registers(self):
+        machine = two_cluster(64)  # 32 per cluster
+        segs = [LiveSegment(0, 0, 2)] * 32
+        assert fits_registers(segs, ii=4, machine=machine)
+        segs_over = [LiveSegment(0, 0, 2)] * 33
+        assert not fits_registers(segs_over, ii=4, machine=machine)
+
+    def test_overflowing_clusters_sorted_by_excess(self):
+        machine = two_cluster(64)
+        segs = [LiveSegment(0, 0, 1)] * 40 + [LiveSegment(1, 0, 1)] * 35
+        assert overflowing_clusters(segs, ii=2, machine=machine) == [0, 1]
+
+    def test_negative_times_allowed(self):
+        seg = LiveSegment(0, -5, -1)
+        assert max_live([seg], 4, 1) == [1, ]
+
+
+class TestMerit:
+    def test_consumption_basics(self):
+        assert consumption(0, 10) == 0.0
+        assert consumption(5, 10) == 0.5
+        assert consumption(20, 10) == 1.0
+        assert consumption(1, 0) == 1.0
+
+    def test_compare_prefers_lower_peak(self):
+        a = MeritVector((0.1, 0.2))
+        b = MeritVector((0.1, 0.9))
+        assert compare(a, b) == -1
+        assert compare(b, a) == 1
+
+    def test_compare_threshold_falls_back_to_sum(self):
+        a = MeritVector((0.50, 0.10))
+        b = MeritVector((0.52, 0.05))
+        # Peaks within threshold; sums decide: 0.60 vs 0.57.
+        assert compare(a, b, threshold=0.05) == 1
+
+    def test_compare_sorts_components(self):
+        a = MeritVector((0.9, 0.1))
+        b = MeritVector((0.1, 0.5))
+        assert compare(a, b) == 1  # peak 0.9 vs 0.5
+
+    def test_dead_tie(self):
+        a = MeritVector((0.3, 0.3))
+        assert compare(a, MeritVector((0.3, 0.3))) == 0
+
+    def test_best_keeps_first_on_tie(self):
+        a = (MeritVector((0.3,)), "a")
+        b = (MeritVector((0.3,)), "b")
+        assert best([a, b]) == "a"
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            best([])
+
+
+class TestValueSegments:
+    def test_plain_value_home_lifetime(self):
+        val = ValueState(producer=0, home=0, birth=5)
+        val.uses.append(Use(1, 0, 9, "reg"))
+        segs = value_segments([val])
+        assert segs == [LiveSegment(0, 5, 9)]
+
+    def test_value_without_uses_lives_one_cycle(self):
+        val = ValueState(producer=0, home=0, birth=5)
+        segs = value_segments([val])
+        assert segs == [LiveSegment(0, 5, 6)]
+
+    def test_transfer_extends_home_and_creates_copy(self):
+        val = ValueState(producer=0, home=0, birth=2)
+        transfer = BusTransfer(BusSlot(0, 4, 2), dst_cluster=1)
+        val.transfers.append(transfer)
+        val.uses.append(Use(7, 1, 10, "reg"))
+        segs = value_segments([val])
+        home = [s for s in segs if s.cluster == 0][0]
+        copy = [s for s in segs if s.cluster == 1][0]
+        assert home.death == 6  # until the transfer completes
+        assert copy.birth == 6 and copy.death == 10
+
+    def test_spilled_value_truncated_at_store(self):
+        val = ValueState(producer=0, home=0, birth=2)
+        val.store_time = 3
+        val.spilled = True
+        val.uses.append(Use(9, 0, 20, "mem", load_time=17))
+        segs = value_segments([val])
+        home = [s for s in segs if s.birth == 2][0]
+        assert home.death == 4  # store reads the register at cycle 3
+        reload = [s for s in segs if s.birth == 19][0]
+        assert reload.death == 20
+
+    def test_copy_available(self):
+        val = ValueState(producer=0, home=0, birth=2)
+        assert val.copy_available(0) == 2
+        assert val.copy_available(1) is None
+        val.transfers.append(BusTransfer(BusSlot(0, 3, 1), dst_cluster=1))
+        assert val.copy_available(1) == 4
+
+    def test_spilled_home_not_available(self):
+        val = ValueState(producer=0, home=0, birth=2, spilled=True)
+        assert val.copy_available(0) is None
+
+    def test_memory_ready(self):
+        val = ValueState(producer=0, home=0, birth=2)
+        assert val.memory_ready() is None
+        val.store_time = 5
+        assert val.memory_ready() == 6  # store latency 1

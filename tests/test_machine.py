@@ -1,0 +1,117 @@
+"""Unit tests for the machine model and Table 1 presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ir.opcodes import OpClass
+from repro.machine.config import ClusterConfig, MachineConfig, homogeneous_machine
+from repro.machine.presets import (
+    REGISTER_TOTALS,
+    clustered,
+    four_cluster,
+    table1_configurations,
+    two_cluster,
+    unified,
+)
+from repro.machine.resources import FU_KINDS, ResourceKind, unit_for
+
+
+class TestClusterConfig:
+    def test_units_of(self):
+        c = ClusterConfig(2, 3, 4, 16)
+        assert c.units_of(ResourceKind.INT_UNIT) == 2
+        assert c.units_of(ResourceKind.FP_UNIT) == 3
+        assert c.units_of(ResourceKind.MEM_PORT) == 4
+
+    def test_units_for_class(self):
+        c = ClusterConfig(1, 2, 3, 8)
+        assert c.units_for_class(OpClass.FP) == 2
+
+    def test_issue_width(self):
+        assert ClusterConfig(2, 2, 2, 16).issue_width == 6
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(1, 1, 1, 0)
+
+    def test_rejects_negative_units(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(-1, 1, 1, 8)
+
+
+class TestMachineConfig:
+    def test_requires_clusters(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("m", clusters=())
+
+    def test_bus_latency_positive(self):
+        with pytest.raises(ConfigError):
+            homogeneous_machine("m", 2, 1, 1, 1, 8, bus_latency=0)
+
+    def test_clustered_needs_bus(self):
+        with pytest.raises(ConfigError):
+            homogeneous_machine("m", 2, 1, 1, 1, 8, num_buses=0)
+
+    def test_cluster_index_bounds(self, two_cluster_machine):
+        with pytest.raises(ConfigError):
+            two_cluster_machine.cluster(2)
+
+    def test_total_units(self, two_cluster_machine):
+        assert two_cluster_machine.total_units_for_class(OpClass.INT) == 4
+
+    def test_units_table_keys(self, four_cluster_machine):
+        table = four_cluster_machine.units_table()
+        assert set(table) == set(FU_KINDS)
+        assert all(len(v) == 4 for v in table.values())
+
+    def test_describe_mentions_bus(self, two_cluster_machine):
+        assert "bus" in two_cluster_machine.describe()
+
+    def test_unit_for_mapping(self):
+        assert unit_for(OpClass.MEM) is ResourceKind.MEM_PORT
+
+
+class TestPresets:
+    def test_all_configs_are_12_issue(self):
+        for config in table1_configurations():
+            assert config.issue_width == 12
+
+    def test_unified_single_cluster(self):
+        m = unified(64)
+        assert not m.is_clustered
+        assert m.total_registers == 64
+
+    def test_two_cluster_divides_resources(self):
+        m = two_cluster(64)
+        assert m.num_clusters == 2
+        assert m.cluster(0).fp_units == 2
+        assert m.cluster(0).registers == 32
+
+    def test_four_cluster_divides_resources(self):
+        m = four_cluster(32)
+        assert m.cluster(0).int_units == 1
+        assert m.cluster(0).registers == 8
+
+    def test_three_clusters_rejected(self):
+        with pytest.raises(ConfigError):
+            clustered(3, 64)
+
+    def test_register_totals_constant(self):
+        for regs in REGISTER_TOTALS:
+            assert two_cluster(regs).total_registers == regs
+            assert four_cluster(regs).total_registers == regs
+
+    def test_bus_parameters_propagate(self):
+        m = four_cluster(32, num_buses=2, bus_latency=2)
+        assert m.num_buses == 2
+        assert m.bus_latency == 2
+
+    def test_table1_covers_both_latencies(self):
+        latencies = {
+            c.bus_latency for c in table1_configurations() if c.is_clustered
+        }
+        assert latencies == {1, 2}
+
+    def test_config_names_unique(self):
+        names = [c.name for c in table1_configurations()]
+        assert len(names) == len(set(names))

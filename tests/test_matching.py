@@ -1,0 +1,77 @@
+"""Unit tests for the maximum-weight matching routines."""
+
+import pytest
+
+from repro.partition.matching import (
+    MATCHERS,
+    exact_matching,
+    greedy_matching,
+    matching_weight,
+)
+
+
+def as_pairs(matching):
+    return {frozenset(pair) for pair in matching}
+
+
+class TestGreedy:
+    def test_prefers_heavy_edge(self):
+        edges = [("a", "b", 10.0), ("b", "c", 1.0)]
+        assert as_pairs(greedy_matching(edges)) == {frozenset({"a", "b"})}
+
+    def test_matching_is_valid(self):
+        edges = [("a", "b", 3), ("b", "c", 2), ("c", "d", 3), ("d", "a", 2)]
+        matching = greedy_matching(edges)
+        seen = set()
+        for u, v in matching:
+            assert u not in seen and v not in seen
+            seen.update((u, v))
+
+    def test_parallel_edges_combined(self):
+        edges = [("a", "b", 1), ("a", "b", 1), ("b", "c", 1.5)]
+        # combined a-b weight 2 beats b-c 1.5
+        assert as_pairs(greedy_matching(edges)) == {frozenset({"a", "b"})}
+
+    def test_self_loops_ignored(self):
+        assert greedy_matching([("a", "a", 100)]) == set()
+
+    def test_empty_input(self):
+        assert greedy_matching([]) == set()
+
+    def test_deterministic(self):
+        edges = [("a", "b", 1), ("c", "d", 1), ("b", "c", 1)]
+        assert greedy_matching(edges) == greedy_matching(list(edges))
+
+
+class TestExact:
+    def test_beats_greedy_on_adversarial_path(self):
+        # Path a-b-c-d with weights 2, 3, 2: greedy takes the middle edge
+        # (weight 3); optimal takes the two outer edges (weight 4).
+        edges = [("a", "b", 2), ("b", "c", 3), ("c", "d", 2)]
+        greedy = matching_weight(edges, greedy_matching(edges))
+        exact = matching_weight(edges, exact_matching(edges))
+        assert greedy == 3
+        assert exact == 4
+
+    def test_exact_at_least_greedy(self):
+        edges = [
+            ("a", "b", 4), ("b", "c", 5), ("c", "d", 4),
+            ("d", "e", 1), ("e", "a", 3),
+        ]
+        assert matching_weight(edges, exact_matching(edges)) >= matching_weight(
+            edges, greedy_matching(edges)
+        )
+
+    def test_exact_valid_matching(self):
+        edges = [("a", "b", 1), ("b", "c", 2), ("a", "c", 3)]
+        matching = exact_matching(edges)
+        nodes = [n for pair in matching for n in pair]
+        assert len(nodes) == len(set(nodes))
+
+
+class TestRegistry:
+    def test_matchers_registered(self):
+        assert set(MATCHERS) == {"greedy", "exact"}
+
+    def test_matching_weight_of_empty(self):
+        assert matching_weight([], set()) == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for MII bounds and the SMS ordering."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.presets import four_cluster, two_cluster, unified
+from repro.schedule.mii import mii, rec_mii, res_mii
+from repro.schedule.ordering import sms_order
+from repro.workloads.generator import LoopShape, generate_loop
+from repro.workloads.kernels import daxpy, dot_product, recurrence_chain, stencil5
+
+
+class TestResMII:
+    def test_daxpy_unified(self):
+        loop = daxpy()
+        # 3 memory ops over 4 ports; 2 FP ops over 4 FP units.
+        assert res_mii(loop.ddg, unified(64)) == 1
+
+    def test_stencil_two_cluster(self):
+        loop = stencil5()  # 6 memory ops, 9 FP ops
+        machine = two_cluster(64)  # machine-wide 4 of each
+        assert res_mii(loop.ddg, machine) == 3  # ceil(9 / 4) FP bound
+
+    def test_mem_bound_loop(self):
+        b = LoopBuilder("mem", 10)
+        vals = [b.load() for _ in range(8)]
+        b.op("fadd", vals[0], vals[1])
+        assert res_mii(b.ddg, unified(64)) == 2  # 8 loads over 4 ports
+
+    def test_mii_is_max_of_bounds(self):
+        loop = dot_product()
+        machine = unified(64)
+        assert mii(loop, machine) == max(
+            res_mii(loop.ddg, machine), rec_mii(loop.ddg)
+        )
+
+    def test_recurrence_dominates(self):
+        loop = recurrence_chain()
+        assert mii(loop, unified(64)) == 6  # fmul+fadd cycle
+
+
+class TestSMSOrder:
+    def test_permutation_of_uids(self):
+        loop = stencil5()
+        order = sms_order(loop.ddg)
+        assert sorted(order) == loop.ddg.uids()
+
+    def test_deterministic(self):
+        loop = stencil5()
+        assert sms_order(loop.ddg) == sms_order(loop.ddg)
+
+    def test_recurrence_nodes_come_first(self):
+        loop = recurrence_chain()
+        order = sms_order(loop.ddg)
+        rec_nodes = {1, 2}  # fmul and fadd of the carried cycle
+        first_two = set(order[:2])
+        assert first_two == rec_nodes
+
+    def test_no_sandwiched_nodes_on_acyclic_graphs(self):
+        """SMS guarantee: placed neighbours all on one side (no recurrences)."""
+        for seed in range(8):
+            loop = generate_loop(
+                "acyc",
+                LoopShape(30, mem_ratio=0.3, depth_bias=0.4, trip_count=50),
+                seed=seed,
+            )
+            order = sms_order(loop.ddg)
+            placed = set()
+            for uid in order:
+                has_pred = any(
+                    p in placed for p in loop.ddg.predecessors(uid)
+                )
+                has_succ = any(
+                    s in placed for s in loop.ddg.successors(uid)
+                )
+                assert not (has_pred and has_succ), (
+                    f"seed {seed}: node {uid} ordered with neighbours on both sides"
+                )
+                placed.add(uid)
+
+    def test_empty_graph(self):
+        from repro.ir.ddg import DataDependenceGraph
+
+        assert sms_order(DataDependenceGraph()) == []
+
+    def test_neighbour_adjacency_mostly_holds(self):
+        """Most ordered nodes touch the already-ordered prefix."""
+        loop = generate_loop(
+            "adj", LoopShape(30, mem_ratio=0.3, trip_count=50), seed=3
+        )
+        order = sms_order(loop.ddg)
+        placed = set()
+        adjacent = 0
+        for uid in order:
+            neighbours = set(loop.ddg.predecessors(uid)) | set(
+                loop.ddg.successors(uid)
+            )
+            if neighbours & placed:
+                adjacent += 1
+            placed.add(uid)
+        assert adjacent >= len(order) * 0.7

@@ -1,0 +1,141 @@
+"""Unit tests for the modulo reservation tables."""
+
+import pytest
+
+from repro.ir.opcodes import OpClass
+from repro.machine.presets import two_cluster
+from repro.schedule.mrt import BusSlot, FUSlot, Overlay, ReservationTable
+
+
+@pytest.fixture
+def table():
+    return ReservationTable(two_cluster(64), ii=4)
+
+
+class TestFunctionalUnits:
+    def test_capacity_matches_machine(self, table):
+        assert table.fu_capacity(0, OpClass.FP) == 2
+
+    def test_reserve_until_full(self, table):
+        slot = FUSlot(0, OpClass.FP, 3)
+        assert table.fu_free(slot)
+        table.reserve_fu(slot)
+        assert table.fu_free(slot)  # one unit left
+        table.reserve_fu(slot)
+        assert not table.fu_free(slot)
+
+    def test_modulo_wraparound(self, table):
+        table.reserve_fu(FUSlot(0, OpClass.FP, 1))
+        table.reserve_fu(FUSlot(0, OpClass.FP, 5))  # same kernel cycle (1)
+        assert not table.fu_free(FUSlot(0, OpClass.FP, 9))
+
+    def test_release_restores_capacity(self, table):
+        slot = FUSlot(0, OpClass.MEM, 0)
+        table.reserve_fu(slot)
+        table.reserve_fu(slot)
+        assert not table.fu_free(slot)
+        table.release_fu(slot)
+        assert table.fu_free(slot)
+
+    def test_clusters_independent(self, table):
+        table.reserve_fu(FUSlot(0, OpClass.INT, 2))
+        table.reserve_fu(FUSlot(0, OpClass.INT, 2))
+        assert table.fu_free(FUSlot(1, OpClass.INT, 2))
+
+    def test_usage_counters(self, table):
+        table.reserve_fu(FUSlot(0, OpClass.MEM, 0))
+        table.reserve_fu(FUSlot(0, OpClass.MEM, 1))
+        assert table.fu_slots_used(0, OpClass.MEM) == 2
+        assert table.fu_slots_total(0, OpClass.MEM) == 2 * 4
+
+
+class TestBuses:
+    def test_transfer_occupies_latency_cycles(self):
+        machine = two_cluster(64, bus_latency=2)
+        table = ReservationTable(machine, ii=4)
+        slot = BusSlot(bus=0, start=1, length=2)
+        assert table.bus_free(slot)
+        table.reserve_bus(slot)
+        # Cycles 1 and 2 are busy on bus 0.
+        assert not table.bus_free(BusSlot(0, 1, 1))
+        assert not table.bus_free(BusSlot(0, 2, 1))
+        assert table.bus_free(BusSlot(0, 3, 1))
+
+    def test_self_overlapping_transfer_rejected(self):
+        machine = two_cluster(64, bus_latency=2)
+        table = ReservationTable(machine, ii=1)
+        slot = BusSlot(0, 0, 2)
+        assert table.bus_cycles(slot) is None
+        assert not table.bus_free(slot)
+
+    def test_find_bus_slot_earliest(self, table):
+        found = table.find_bus_slot(earliest=5, latest_start=8, length=1)
+        assert found is not None and found.start == 5
+
+    def test_find_bus_slot_skips_busy(self, table):
+        table.reserve_bus(BusSlot(0, 5, 1))
+        found = table.find_bus_slot(earliest=5, latest_start=8, length=1)
+        assert found is not None and found.start == 6
+
+    def test_find_bus_slot_window_empty(self, table):
+        assert table.find_bus_slot(earliest=5, latest_start=4, length=1) is None
+
+    def test_find_bus_slot_full_bus(self, table):
+        for start in range(4):
+            table.reserve_bus(BusSlot(0, start, 1))
+        assert table.find_bus_slot(0, 100, 1) is None
+
+    def test_two_buses(self):
+        machine = two_cluster(64, num_buses=2)
+        table = ReservationTable(machine, ii=2)
+        table.reserve_bus(BusSlot(0, 0, 1))
+        found = table.find_bus_slot(0, 0, 1)
+        assert found is not None and found.bus == 1
+
+    def test_release_bus(self, table):
+        slot = BusSlot(0, 2, 1)
+        table.reserve_bus(slot)
+        table.release_bus(slot)
+        assert table.bus_free(slot)
+
+    def test_bus_usage_counters(self, table):
+        table.reserve_bus(BusSlot(0, 0, 1))
+        assert table.bus_cycles_used() == 1
+        assert table.bus_cycles_total() == 4
+
+
+class TestOverlay:
+    def test_overlay_visible_to_checks(self, table):
+        overlay = Overlay(table)
+        slot = FUSlot(0, OpClass.FP, 0)
+        overlay.add_fu(slot)
+        overlay.add_fu(slot)
+        assert not table.fu_free(slot, overlay)
+        # The underlying table is untouched.
+        assert table.fu_free(slot)
+
+    def test_overlay_bus_blocks(self, table):
+        overlay = Overlay(table)
+        overlay.add_bus(BusSlot(0, 1, 1))
+        assert not table.bus_free(BusSlot(0, 1, 1), overlay)
+        assert table.bus_free(BusSlot(0, 1, 1))
+
+    def test_commit_applies_everything(self, table):
+        overlay = Overlay(table)
+        fu = FUSlot(1, OpClass.MEM, 3)
+        bus = BusSlot(0, 2, 1)
+        overlay.add_fu(fu)
+        overlay.add_bus(bus)
+        overlay.commit()
+        assert table.fu_slots_used(1, OpClass.MEM) == 1
+        assert not table.bus_free(bus)
+
+    def test_discarded_overlay_has_no_effect(self, table):
+        overlay = Overlay(table)
+        overlay.add_fu(FUSlot(0, OpClass.INT, 0))
+        del overlay
+        assert table.fu_slots_used(0, OpClass.INT) == 0
+
+    def test_invalid_ii_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationTable(two_cluster(64), ii=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the register-pressure-aware partitioning extension."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.presets import four_cluster, two_cluster
+from repro.partition.pressure import (
+    PressureAwareEstimator,
+    estimate_register_pressure,
+)
+from repro.partition.estimator import PartitionEstimator
+from repro.workloads.generator import LoopShape, generate_loop
+
+
+def long_lifetime_loop():
+    """One value read very late: steady-state pressure ~ lifetime / II."""
+    b = LoopBuilder("long_life", 100)
+    x = b.load("x")
+    chain = b.op("fadd", x)
+    for _ in range(6):
+        chain = b.op("fadd", chain)
+    late = b.op("fadd", chain, x, name="late_use_of_x")
+    b.store(late)
+    return b.build()
+
+
+class TestPressureEstimate:
+    def test_longer_lifetimes_mean_higher_pressure(self):
+        loop = long_lifetime_loop()
+        assignment = {uid: 0 for uid in loop.ddg.uids()}
+        tight = estimate_register_pressure(loop, assignment, ii=2)
+        loose = estimate_register_pressure(loop, assignment, ii=8)
+        assert tight[0] > loose[0]
+
+    def test_remote_consumers_charge_their_cluster(self):
+        b = LoopBuilder("remote", 10)
+        x = b.load("x")
+        u = b.op("fadd", x)
+        loop = b.build()
+        split = {x.uid: 0, u.uid: 1}
+        pressure = estimate_register_pressure(loop, split, ii=2)
+        assert pressure.get(1, 0.0) >= 1.0  # the delivered copy
+
+    def test_stores_and_dead_values_free(self):
+        b = LoopBuilder("dead", 10)
+        x = b.load("x")
+        b.store(x)
+        loop = b.build()
+        pressure = estimate_register_pressure(
+            loop, {uid: 0 for uid in loop.ddg.uids()}, ii=2
+        )
+        # Only the load's value is tracked; the store produces nothing.
+        assert len(pressure) <= 1
+
+
+class TestPressureAwareEstimator:
+    def test_no_penalty_when_fits(self):
+        loop = long_lifetime_loop()
+        machine = two_cluster(64)
+        assignment = {uid: 0 for uid in loop.ddg.uids()}
+        plain = PartitionEstimator(loop, machine, ii=3).estimate(assignment)
+        aware = PressureAwareEstimator(loop, machine, ii=3).estimate(assignment)
+        assert aware.exec_time == plain.exec_time
+
+    def test_penalty_when_overflowing(self):
+        loop = generate_loop(
+            "hot", LoopShape(40, mem_ratio=0.15, depth_bias=0.3, trip_count=100),
+            seed=41,
+        )
+        machine = four_cluster(32)  # 8 registers per cluster
+        assignment = {uid: 0 for uid in loop.ddg.uids()}  # everything on one
+        plain = PartitionEstimator(loop, machine, ii=4).estimate(assignment)
+        aware = PressureAwareEstimator(loop, machine, ii=4).estimate(assignment)
+        assert aware.exec_time > plain.exec_time
+
+    def test_penalty_scales_with_weight(self):
+        loop = generate_loop(
+            "hot2", LoopShape(40, mem_ratio=0.15, depth_bias=0.3, trip_count=100),
+            seed=43,
+        )
+        machine = four_cluster(32)
+        assignment = {uid: 0 for uid in loop.ddg.uids()}
+        light = PressureAwareEstimator(
+            loop, machine, ii=4, penalty_per_excess=0.5
+        ).estimate(assignment)
+        heavy = PressureAwareEstimator(
+            loop, machine, ii=4, penalty_per_excess=4.0
+        ).estimate(assignment)
+        assert heavy.exec_time > light.exec_time

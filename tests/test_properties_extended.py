@@ -1,0 +1,119 @@
+"""Second wave of property-based tests: transforms, serialization, traces."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.analysis import rec_mii
+from repro.ir.serialize import dumps, loads
+from repro.ir.stats import graph_stats
+from repro.ir.transform import remove_dead_operations, renumber, unroll
+from repro.machine.presets import two_cluster, unified
+from repro.schedule.drivers import GPScheduler, UnifiedScheduler
+from repro.schedule.expand import expand
+from repro.workloads.generator import LoopShape, generate_loop
+
+loop_shapes = st.builds(
+    LoopShape,
+    num_operations=st.integers(min_value=6, max_value=24),
+    mem_ratio=st.floats(min_value=0.1, max_value=0.6),
+    depth_bias=st.floats(min_value=0.0, max_value=0.9),
+    recurrences=st.integers(min_value=0, max_value=2),
+    trip_count=st.integers(min_value=20, max_value=300),
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_serialization_round_trip_exact(shape, seed):
+    loop = generate_loop("ser", shape, seed)
+    restored = loads(dumps(loop))
+    assert restored.trip_count == loop.trip_count
+    assert [op.opcode.name for op in restored.ddg.operations()] == [
+        op.opcode.name for op in loop.ddg.operations()
+    ]
+    assert sorted(
+        (d.src, d.dst, d.latency, d.distance, d.kind.value)
+        for d in restored.ddg.edges()
+    ) == sorted(
+        (d.src, d.dst, d.latency, d.distance, d.kind.value)
+        for d in loop.ddg.edges()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=loop_shapes, seed=seeds, factor=st.integers(min_value=1, max_value=4))
+def test_unroll_structural_invariants(shape, seed, factor):
+    loop = generate_loop("unr", shape, seed)
+    unrolled = unroll(loop, factor)
+    unrolled.ddg.validate()
+    assert unrolled.num_operations == factor * loop.num_operations
+    assert unrolled.ddg.num_edges == factor * loop.ddg.num_edges
+    # Total dynamic work is preserved up to the final partial iteration.
+    original = loop.total_dynamic_operations()
+    expanded = unrolled.total_dynamic_operations()
+    assert original <= expanded < original + factor * loop.num_operations
+    # Class mix is exactly scaled.
+    base_mix = loop.ddg.count_by_class()
+    unrolled_mix = unrolled.ddg.count_by_class()
+    assert unrolled_mix == {k: factor * v for k, v in base_mix.items()}
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=loop_shapes, seed=seeds, factor=st.integers(min_value=1, max_value=3))
+def test_unroll_scales_recurrence_bound(shape, seed, factor):
+    loop = generate_loop("unr2", shape, seed)
+    base = rec_mii(loop.ddg)
+    scaled = rec_mii(unroll(loop, factor).ddg)
+    # Per source iteration the recurrence constraint is unchanged:
+    # RecMII(U) <= U * RecMII(1), and for factor 1 equality holds.
+    assert scaled <= factor * base
+    if factor == 1:
+        assert scaled == base
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_dead_code_elimination_keeps_observable_work(shape, seed):
+    loop = generate_loop("dce", shape, seed)
+    pruned = remove_dead_operations(loop)
+    pruned.ddg.validate()
+    stores_before = sum(1 for op in loop.ddg.operations() if op.is_store)
+    stores_after = sum(1 for op in pruned.ddg.operations() if op.is_store)
+    assert stores_after == stores_before
+    assert pruned.num_operations <= loop.num_operations
+
+
+@settings(max_examples=15, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_renumber_preserves_stats(shape, seed):
+    loop = generate_loop("rnm", shape, seed)
+    normal = renumber(loop)
+    a, b = graph_stats(loop), graph_stats(normal)
+    assert a.operations == b.operations
+    assert a.edges == b.edges
+    assert a.critical_path == b.critical_path
+    assert a.rec_mii == b.rec_mii
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=loop_shapes, seed=seeds, niter=st.integers(min_value=2, max_value=12))
+def test_expanded_trace_matches_closed_form(shape, seed, niter):
+    loop = generate_loop("exp", shape, seed)
+    outcome = UnifiedScheduler(unified(64)).schedule(loop)
+    if not outcome.is_modulo:
+        return
+    schedule = outcome.schedule
+    trace = expand(schedule, iterations=niter)
+    assert trace.total_cycles == schedule.execution_cycles(niter)
+
+
+@settings(max_examples=8, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_clustered_trace_never_oversubscribes(shape, seed):
+    loop = generate_loop("exp2", shape, seed)
+    outcome = GPScheduler(two_cluster(32)).schedule(loop)
+    if outcome.is_modulo:
+        # expand() raises on any structural hazard in the flat trace.
+        expand(outcome.schedule, iterations=8)

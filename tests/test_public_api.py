@@ -1,0 +1,72 @@
+"""The public API surface: exports, error hierarchy, documentation."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    PartitionError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+)
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet_runs(self):
+        """The README / module docstring example must actually work."""
+        from repro import GPScheduler, kernels, two_cluster
+
+        loop = kernels.daxpy()
+        machine = two_cluster(total_registers=32)
+        outcome = GPScheduler(machine).schedule(loop)
+        assert outcome.ipc() > 0
+        assert outcome.schedule.ii >= 1
+
+    def test_schedulers_registry(self):
+        from repro.schedule import SCHEDULERS
+
+        assert set(SCHEDULERS) == {
+            "unified", "uracam", "fixed-partition", "gp"
+        }
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [GraphError, ConfigError, PartitionError, SchedulingError, ValidationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestDocstrings:
+    def test_every_public_module_documented(self):
+        import importlib
+        import pkgutil
+
+        package = repro
+        missing = []
+        for module_info in pkgutil.walk_packages(
+            package.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_info.name)
+        assert not missing, f"undocumented modules: {missing}"
+
+    def test_public_classes_documented(self):
+        from repro.partition import MultilevelPartitioner
+        from repro.schedule import GPScheduler, ModuloSchedule, SchedulingEngine
+
+        for obj in (MultilevelPartitioner, GPScheduler, ModuloSchedule, SchedulingEngine):
+            assert (obj.__doc__ or "").strip()

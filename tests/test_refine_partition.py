@@ -1,0 +1,194 @@
+"""Unit tests for refinement and the full multilevel partitioner."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.ir.builder import LoopBuilder
+from repro.ir.opcodes import OpClass
+from repro.machine.presets import four_cluster, two_cluster, unified
+from repro.partition.coarsen import build_hierarchy
+from repro.partition.estimator import PartitionEstimator, count_communications
+from repro.partition.partitioner import MultilevelPartitioner, trivial_partition
+from repro.partition.refine import Refiner
+from repro.partition.weights import compute_edge_weights
+from repro.schedule.mii import mii
+from repro.workloads.generator import LoopShape, generate_loop
+from repro.workloads.kernels import daxpy, dot_product, complex_multiply
+
+
+def wide_loop(seed=21, n=28):
+    return generate_loop(
+        "refine_wide", LoopShape(n, mem_ratio=0.35, depth_bias=0.3, trip_count=80), seed
+    )
+
+
+class TestBalanceWorkload:
+    def test_overload_is_resolved(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        ii = mii(loop, machine)
+        estimator = PartitionEstimator(loop, machine, ii)
+        refiner = Refiner(estimator, machine)
+        level = {i: (uid,) for i, uid in enumerate(loop.ddg.uids())}
+        # Pathological start: everything on cluster 0.
+        groups = {gid: 0 for gid in level}
+        balanced = refiner.balance_workload(level, groups)
+        loads = {}
+        for gid, cluster in balanced.items():
+            for uid in level[gid]:
+                cls = loop.ddg.operation(uid).op_class
+                loads[(cluster, cls)] = loads.get((cluster, cls), 0) + 1
+        for (cluster, cls), load in loads.items():
+            capacity = machine.cluster(cluster).units_for_class(cls) * ii
+            assert load <= capacity
+
+    def test_balanced_input_untouched(self):
+        loop = daxpy()
+        machine = two_cluster(64)
+        estimator = PartitionEstimator(loop, machine, ii=2)
+        refiner = Refiner(estimator, machine)
+        level = {i: (uid,) for i, uid in enumerate(loop.ddg.uids())}
+        groups = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert refiner.balance_workload(level, dict(groups)) == groups
+
+
+class TestCutRefinement:
+    def test_never_worsens_objective(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        ii = mii(loop, machine)
+        estimator = PartitionEstimator(loop, machine, ii)
+        refiner = Refiner(estimator, machine)
+        level = {i: (uid,) for i, uid in enumerate(loop.ddg.uids())}
+        groups = {gid: gid % 2 for gid in level}  # arbitrary split
+        before = refiner._score(refiner._uid_assignment(level, groups))
+        refined = refiner.minimize_cut_impact(level, dict(groups))
+        after = refiner._score(refiner._uid_assignment(level, refined))
+        assert after <= before
+
+    def test_gathers_chain_into_one_cluster(self):
+        """A pure serial chain split alternately must be re-gathered."""
+        b = LoopBuilder("chain", 60)
+        x = b.load()
+        n1 = b.op("fadd", x)
+        n2 = b.op("fadd", n1)
+        n3 = b.op("fadd", n2)
+        loop = b.build()
+        machine = two_cluster(64)
+        # II=2 so one cluster's two FP units can host all three FP ops.
+        estimator = PartitionEstimator(loop, machine, ii=2)
+        refiner = Refiner(estimator, machine)
+        level = {i: (uid,) for i, uid in enumerate(loop.ddg.uids())}
+        groups = {0: 0, 1: 1, 2: 0, 3: 1}
+        refined = refiner.minimize_cut_impact(level, groups)
+        assignment = {uid: refined[gid] for gid, uids in level.items() for uid in uids}
+        assert count_communications(loop.ddg, assignment) == 0
+
+
+class TestPartitioner:
+    def test_unified_machine_gets_trivial_partition(self):
+        loop = daxpy()
+        partitioner = MultilevelPartitioner(unified(64))
+        partition = partitioner.partition(loop, ii=1)
+        assert set(partition.assignment.values()) == {0}
+        assert partition.ii_bus == 0
+
+    def test_every_operation_assigned(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        partitioner = MultilevelPartitioner(machine)
+        partition = partitioner.partition(loop, ii=mii(loop, machine))
+        assert sorted(partition.assignment) == loop.ddg.uids()
+        assert all(
+            0 <= c < machine.num_clusters for c in partition.assignment.values()
+        )
+
+    def test_ii_bus_consistent_with_comm_count(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        partitioner = MultilevelPartitioner(machine)
+        partition = partitioner.partition(loop, ii=mii(loop, machine))
+        import math
+
+        expected = math.ceil(
+            partition.ncomm * machine.bus_latency / machine.num_buses
+        )
+        assert partition.ii_bus == expected
+
+    def test_four_cluster_uses_multiple_clusters_when_wide(self):
+        loop = wide_loop(n=36)
+        machine = four_cluster(64)
+        partitioner = MultilevelPartitioner(machine)
+        partition = partitioner.partition(loop, ii=mii(loop, machine))
+        assert len(set(partition.assignment.values())) >= 2
+
+    def test_no_cluster_resource_overloaded_when_possible(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        ii = mii(loop, machine)
+        partition = MultilevelPartitioner(machine).partition(loop, ii)
+        counts = {}
+        for uid, cluster in partition.assignment.items():
+            cls = loop.ddg.operation(uid).op_class
+            counts[(cluster, cls)] = counts.get((cluster, cls), 0) + 1
+        for (cluster, cls), count in counts.items():
+            capacity = machine.cluster(cluster).units_for_class(cls) * ii
+            assert count <= capacity
+
+    def test_cmul_splits_cleanly_across_two_clusters(self):
+        """Complex multiply has two independent chains: an ideal 2-split."""
+        loop = complex_multiply()
+        machine = two_cluster(64)
+        partition = MultilevelPartitioner(machine).partition(
+            loop, ii=mii(loop, machine)
+        )
+        # Both clusters used, and the cut is small.
+        assert len(set(partition.assignment.values())) == 2
+        assert partition.ncomm <= 4
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(PartitionError):
+            MultilevelPartitioner(two_cluster(64), matching="bogus")
+
+    def test_deterministic(self):
+        loop = wide_loop()
+        machine = two_cluster(64)
+        p1 = MultilevelPartitioner(machine).partition(loop, 3)
+        p2 = MultilevelPartitioner(machine).partition(loop, 3)
+        assert p1.assignment == p2.assignment
+
+    def test_exact_matching_variant_runs(self):
+        loop = daxpy()
+        machine = two_cluster(64)
+        partition = MultilevelPartitioner(machine, matching="exact").partition(
+            loop, ii=2
+        )
+        assert sorted(partition.assignment) == loop.ddg.uids()
+
+    def test_pressure_aware_variant_runs(self):
+        loop = wide_loop()
+        machine = four_cluster(32)
+        partition = MultilevelPartitioner(machine, pressure_aware=True).partition(
+            loop, ii=mii(loop, machine)
+        )
+        assert sorted(partition.assignment) == loop.ddg.uids()
+
+    def test_recurrence_kept_in_one_cluster(self):
+        """The reduction's cycle edge is maximally expensive to cut."""
+        loop = dot_product()
+        machine = two_cluster(64)
+        partition = MultilevelPartitioner(machine).partition(loop, ii=3)
+        ddg = loop.ddg
+        for dep in ddg.edges():
+            if dep.distance > 0 and dep.src != dep.dst:
+                assert (
+                    partition.assignment[dep.src] == partition.assignment[dep.dst]
+                )
+
+
+class TestTrivialPartition:
+    def test_assigns_everything_to_zero(self):
+        loop = daxpy()
+        partition = trivial_partition(loop, ii=2)
+        assert set(partition.assignment.values()) == {0}
+        assert partition.ncomm == 0

@@ -1,0 +1,110 @@
+"""Tests for the sweep framework and partition visualization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.sweep import (
+    SweepResult,
+    bus_latency_sweep,
+    cluster_sweep,
+    register_sweep,
+)
+from repro.machine.presets import two_cluster
+from repro.partition.coarsen import build_hierarchy
+from repro.partition.partitioner import MultilevelPartitioner
+from repro.partition.visual import (
+    hierarchy_summary,
+    partition_summary,
+    partition_to_dot,
+)
+from repro.partition.weights import compute_edge_weights
+from repro.workloads.kernels import complex_multiply, daxpy
+from repro.workloads.spec import Benchmark
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return [Benchmark(name="mini", loops=(daxpy(), complex_multiply()))]
+
+
+class TestSweepResult:
+    def test_crossover_found(self):
+        result = SweepResult("x", [1, 2, 3, 4])
+        result.series["a"] = [1.0, 2.0, 3.0, 4.0]
+        result.series["b"] = [2.0, 2.5, 2.8, 3.0]
+        assert result.crossover("a", "b") == 3
+
+    def test_no_crossover(self):
+        result = SweepResult("x", [1, 2])
+        result.series["a"] = [1.0, 1.5]
+        result.series["b"] = [2.0, 2.5]
+        assert result.crossover("a", "b") is None
+
+    def test_gap_percent(self):
+        result = SweepResult("x", [1])
+        result.series["a"] = [2.46]
+        result.series["b"] = [2.0]
+        assert result.gap_percent("a", "b")[0] == pytest.approx(23.0)
+
+    def test_render(self):
+        result = SweepResult("regs", [32, 64])
+        result.series["gp"] = [4.0, 5.0]
+        out = result.render()
+        assert "regs" in out and "gp" in out
+
+
+class TestSweeps:
+    def test_register_sweep_monotone_ish(self, mini_suite):
+        result = register_sweep((32, 64), num_clusters=2, suite=mini_suite)
+        assert set(result.series) == {
+            "uracam", "fixed-partition", "gp", "unified"
+        }
+        # More registers never hurt meaningfully.
+        for label, values in result.series.items():
+            assert values[1] >= values[0] * 0.98, label
+
+    def test_register_sweep_rejects_indivisible(self, mini_suite):
+        with pytest.raises(ConfigError):
+            register_sweep((30,), num_clusters=4, suite=mini_suite)
+
+    def test_bus_latency_sweep_nonincreasing(self, mini_suite):
+        result = bus_latency_sweep((1, 3), num_clusters=2, suite=mini_suite)
+        for label, values in result.series.items():
+            assert values[1] <= values[0] * 1.05, label
+
+    def test_cluster_sweep_unified_is_best(self, mini_suite):
+        result = cluster_sweep((1, 2), suite=mini_suite)
+        assert result.series["gp"][0] >= result.series["gp"][1] * 0.98
+
+
+class TestVisual:
+    def make_partition(self):
+        loop = complex_multiply()
+        machine = two_cluster(64)
+        partition = MultilevelPartitioner(machine).partition(loop, ii=3)
+        return loop, partition
+
+    def test_dot_contains_clusters_and_cut(self):
+        loop, partition = self.make_partition()
+        dot = partition_to_dot(loop.ddg, partition)
+        assert "digraph" in dot
+        # Every used cluster's color appears in the rendering.
+        for cluster in set(partition.assignment.values()):
+            color = ("lightblue", "lightsalmon")[cluster % 2]
+            assert f"fillcolor={color}" in dot
+        if partition.ncomm:
+            assert "color=red" in dot
+
+    def test_summary_lists_all_clusters(self):
+        loop, partition = self.make_partition()
+        text = partition_summary(loop.ddg, partition)
+        for cluster in sorted(set(partition.assignment.values())):
+            assert f"cluster {cluster}:" in text
+        assert "cut (" in text
+
+    def test_hierarchy_summary_levels(self):
+        loop = complex_multiply()
+        weighting = compute_edge_weights(loop, ii=3, bus_latency=1)
+        hierarchy = build_hierarchy(weighting, 2)
+        text = hierarchy_summary(hierarchy)
+        assert text.count("level ") == hierarchy.num_levels

@@ -1,0 +1,125 @@
+"""Unit tests for loop transformations (unrolling, DCE, renumbering)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.analysis import rec_mii
+from repro.ir.builder import LoopBuilder
+from repro.ir.transform import remove_dead_operations, renumber, unroll
+from repro.schedule.mii import mii, res_mii
+from repro.machine.presets import unified
+from repro.workloads.kernels import daxpy, dot_product, tridiagonal
+from repro.workloads.generator import LoopShape, generate_loop
+
+
+class TestUnroll:
+    def test_factor_one_is_identity_shape(self):
+        loop = daxpy()
+        u1 = unroll(loop, 1)
+        assert u1.num_operations == loop.num_operations
+        assert u1.trip_count == loop.trip_count
+
+    def test_body_replicated(self):
+        loop = daxpy()
+        u3 = unroll(loop, 3)
+        assert u3.num_operations == 3 * loop.num_operations
+        assert u3.trip_count == -(-loop.trip_count // 3)
+
+    def test_invalid_factor(self):
+        with pytest.raises(GraphError):
+            unroll(daxpy(), 0)
+
+    def test_intra_iteration_edges_stay_internal(self):
+        loop = daxpy()
+        u2 = unroll(loop, 2)
+        # All of daxpy's edges are distance 0, so the unrolled loop has
+        # exactly 2x the edges and still none carried.
+        assert u2.ddg.num_edges == 2 * loop.ddg.num_edges
+        assert all(d.distance == 0 for d in u2.ddg.edges())
+
+    def test_recurrence_distance_arithmetic(self):
+        """A distance-1 self edge becomes one cross-copy chain per body."""
+        loop = dot_product()  # s += ... with distance-1 self edge
+        u2 = unroll(loop, 2)
+        u2.ddg.validate()
+        carried = [d for d in u2.ddg.edges() if d.distance > 0]
+        internal_chain = [
+            d for d in u2.ddg.edges()
+            if d.distance == 0 and d.src != d.dst
+        ]
+        # The two copies of the accumulator form a cycle: copy0 -> copy1
+        # (distance 0) and copy1 -> copy0 (distance 1).
+        assert len(carried) == 1
+        assert carried[0].distance == 1
+
+    def test_unrolling_preserves_rec_mii_per_source_iteration(self):
+        """RecMII(U-unrolled) == U * RecMII(rolled) for a tight recurrence."""
+        loop = tridiagonal()
+        base = rec_mii(loop.ddg)
+        for factor in (2, 3):
+            assert rec_mii(unroll(loop, factor).ddg) == base * factor
+
+    def test_unrolling_amortizes_res_mii_remainder(self):
+        """Unrolling removes ceil() waste in the resource bound."""
+        b = LoopBuilder("five_fp", 100)
+        x = b.load()
+        for _ in range(5):
+            b.op("fadd", x)
+        loop = b.build()
+        machine = unified(64)
+        rolled = res_mii(loop.ddg, machine)       # ceil(5/4) = 2
+        unrolled = res_mii(unroll(loop, 4).ddg, machine)  # ceil(20/4) = 5
+        assert rolled == 2
+        assert unrolled == 5  # 5 cycles per 4 iterations beats 2 per 1
+
+    def test_unrolled_loop_schedules_and_validates(self):
+        from repro.schedule.drivers import GPScheduler
+        from repro.machine.presets import two_cluster
+
+        loop = unroll(daxpy(), 2)
+        outcome = GPScheduler(two_cluster(64)).schedule(loop)
+        assert outcome.is_modulo
+        outcome.schedule.validate()
+
+
+class TestDeadCodeElimination:
+    def test_dead_value_removed(self):
+        b = LoopBuilder("dead", 10)
+        x = b.load("x")
+        live = b.op("fadd", x)
+        b.op("fmul", x, name="unused")
+        b.store(live)
+        loop = b.build()
+        pruned = remove_dead_operations(loop)
+        assert pruned.num_operations == loop.num_operations - 1
+        names = {op.name for op in pruned.ddg.operations()}
+        assert "unused" not in names
+
+    def test_fully_live_loop_untouched(self):
+        loop = daxpy()
+        assert remove_dead_operations(loop) is loop
+
+    def test_recurrence_values_kept(self):
+        loop = dot_product()  # the accumulator has no store
+        pruned = remove_dead_operations(loop)
+        assert pruned.num_operations == loop.num_operations
+
+
+class TestRenumber:
+    def test_dense_topological_uids(self):
+        loop = generate_loop(
+            "rn", LoopShape(20, trip_count=50, recurrences=1), seed=77
+        )
+        normal = renumber(loop)
+        uids = normal.ddg.uids()
+        assert uids == list(range(len(uids)))
+        # Zero-distance edges point forward after renumbering.
+        assert all(
+            d.src < d.dst for d in normal.ddg.edges() if d.distance == 0
+        )
+
+    def test_preserves_semantics(self):
+        loop = dot_product()
+        normal = renumber(loop)
+        assert normal.num_operations == loop.num_operations
+        assert rec_mii(normal.ddg) == rec_mii(loop.ddg)

@@ -1,0 +1,98 @@
+"""Unit tests for the §3.2.1 edge-weight computation."""
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.analysis import rec_mii
+from repro.partition.weights import compute_edge_weights
+
+
+def diamond_loop(trip_count=100):
+    """Critical path through fdiv; the fadd side has slack."""
+    b = LoopBuilder("diamond", trip_count)
+    x = b.load("x")
+    slow = b.op("fdiv", x, name="slow")
+    fast = b.op("fadd", x, name="fast")
+    join = b.op("fadd", slow, fast, name="join")
+    b.store(join)
+    return b.build()
+
+
+def reduction_loop(trip_count=100):
+    b = LoopBuilder("red", trip_count)
+    x = b.load("x")
+    p = b.op("fmul", x)
+    s = b.op("fadd", p)
+    b.recurrence(s, s, distance=1)
+    return b.build()
+
+
+class TestWeights:
+    def test_every_edge_has_positive_weight(self):
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        assert all(w.weight_of(i) >= 1 for i in range(len(w.edge_list())))
+
+    def test_critical_edges_outweigh_slack_edges(self):
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        edges = w.edge_list()
+        by_name = {
+            (loop.ddg.operation(d.src).name, loop.ddg.operation(d.dst).name): i
+            for i, d in enumerate(edges)
+        }
+        critical = by_name[("slow", "join")]
+        slackful = by_name[("fast", "join")]
+        assert w.weight_of(critical) > w.weight_of(slackful)
+
+    def test_critical_delay_counts_path_stretch(self):
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=2)
+        edges = w.edge_list()
+        critical = [
+            i for i, d in enumerate(edges)
+            if loop.ddg.operation(d.src).name == "slow"
+        ][0]
+        # Delaying a critical zero-distance edge stretches the path by the
+        # full bus latency (no II term for acyclic edges).
+        assert w.delay_of(critical) == 2
+
+    def test_slack_edge_has_zero_delay_when_absorbing(self):
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        edges = w.edge_list()
+        slackful = [
+            i for i, d in enumerate(edges)
+            if loop.ddg.operation(d.src).name == "fast"
+        ][0]
+        assert w.delay_of(slackful) == 0
+
+    def test_recurrence_edge_delay_scales_with_trip_count(self):
+        small = compute_edge_weights(reduction_loop(10), ii=3, bus_latency=1)
+        large = compute_edge_weights(reduction_loop(1000), ii=3, bus_latency=1)
+        def back_edge_delay(w):
+            edges = w.edge_list()
+            idx = [i for i, d in enumerate(edges) if d.distance == 1][0]
+            return w.delay_of(idx)
+        assert back_edge_delay(large) > back_edge_delay(small)
+        # Growth is (niter - 1) per extra II step.
+        assert back_edge_delay(large) - back_edge_delay(small) == (1000 - 10)
+
+    def test_max_slack_recorded(self):
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        assert w.max_slack == 3  # fdiv(6) vs fadd(3) imbalance
+
+    def test_weight_formula_lexicographic(self):
+        # Any positive delay must dominate the largest slack contribution.
+        loop = diamond_loop()
+        w = compute_edge_weights(loop, ii=1, bus_latency=1)
+        maxsl = w.max_slack
+        zero_delay_max = maxsl - 0 + 1  # best possible weight at delay 0
+        for i in range(len(w.edge_list())):
+            if w.delay_of(i) > 0:
+                assert w.weight_of(i) > zero_delay_max
+
+    def test_weighting_at_higher_ii(self):
+        loop = reduction_loop()
+        ii = rec_mii(loop.ddg)
+        w = compute_edge_weights(loop, ii=ii + 2, bus_latency=1)
+        assert w.ii == ii + 2

@@ -1,0 +1,143 @@
+"""Unit tests for workload generation, kernels and the SPEC-like suite."""
+
+import pytest
+
+from repro.ir.analysis import rec_mii
+from repro.workloads.generator import LoopShape, generate_loop, generate_suite
+from repro.workloads.kernels import KERNELS, all_kernels, dot_product, tridiagonal
+from repro.workloads.spec import (
+    PROGRAM_NAMES,
+    Benchmark,
+    make_benchmark,
+    spec_suite,
+)
+
+
+class TestGenerator:
+    def test_operation_count_matches_shape(self):
+        loop = generate_loop("g", LoopShape(25, trip_count=50), seed=1)
+        assert loop.num_operations == 25
+
+    def test_deterministic_for_seed(self):
+        shape = LoopShape(20, trip_count=50)
+        a = generate_loop("same", shape, seed=5)
+        b = generate_loop("same", shape, seed=5)
+        assert [op.opcode.name for op in a.ddg.operations()] == [
+            op.opcode.name for op in b.ddg.operations()
+        ]
+        assert sorted(
+            (d.src, d.dst, d.latency, d.distance) for d in a.ddg.edges()
+        ) == sorted((d.src, d.dst, d.latency, d.distance) for d in b.ddg.edges())
+
+    def test_different_seeds_differ(self):
+        shape = LoopShape(20, trip_count=50)
+        a = generate_loop("same", shape, seed=5)
+        b = generate_loop("same", shape, seed=6)
+        edges_a = sorted((d.src, d.dst) for d in a.ddg.edges())
+        edges_b = sorted((d.src, d.dst) for d in b.ddg.edges())
+        assert edges_a != edges_b
+
+    def test_mem_ratio_respected(self):
+        loop = generate_loop(
+            "m", LoopShape(40, mem_ratio=0.5, trip_count=50), seed=2
+        )
+        mem = sum(1 for op in loop.ddg.operations() if op.is_memory)
+        assert abs(mem / 40 - 0.5) < 0.15
+
+    def test_graph_is_valid(self):
+        for seed in range(5):
+            loop = generate_loop(
+                "v", LoopShape(30, recurrences=2, trip_count=50), seed=seed
+            )
+            loop.ddg.validate()
+
+    def test_recurrences_raise_rec_mii(self):
+        base = generate_loop("r", LoopShape(20, trip_count=50), seed=3)
+        rec = generate_loop(
+            "r", LoopShape(20, recurrences=2, trip_count=50), seed=3
+        )
+        assert rec_mii(rec.ddg) >= rec_mii(base.ddg)
+        assert rec_mii(rec.ddg) > 1
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LoopShape(1)
+        with pytest.raises(ValueError):
+            LoopShape(10, mem_ratio=1.5)
+
+    def test_generate_suite_names(self):
+        shapes = [LoopShape(10, trip_count=50)] * 3
+        loops = generate_suite("pfx", shapes, seed=0)
+        assert [l.name for l in loops] == ["pfx_loop0", "pfx_loop1", "pfx_loop2"]
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_builds_and_validates(self, name):
+        loop = KERNELS[name]()
+        loop.ddg.validate()
+        assert loop.num_operations >= 3
+
+    def test_dot_product_rec_mii(self):
+        assert rec_mii(dot_product().ddg) == 3
+
+    def test_tridiagonal_rec_mii(self):
+        assert rec_mii(tridiagonal().ddg) == 6  # fmul + fsub cycle
+
+    def test_all_kernels_distinct_names(self):
+        names = [loop.name for loop in all_kernels()]
+        assert len(names) == len(set(names))
+
+
+class TestSpecSuite:
+    def test_ten_programs(self):
+        suite = spec_suite()
+        assert [b.name for b in suite] == list(PROGRAM_NAMES)
+
+    def test_each_program_has_loops(self):
+        for benchmark in spec_suite():
+            assert len(benchmark.loops) >= 4
+            for loop in benchmark.loops:
+                loop.ddg.validate()
+                assert loop.trip_count >= 50
+
+    def test_suite_deterministic(self):
+        a = make_benchmark("swim")
+        b = make_benchmark("swim")
+        for la, lb in zip(a.loops, b.loops):
+            assert sorted((d.src, d.dst) for d in la.ddg.edges()) == sorted(
+                (d.src, d.dst) for d in lb.ddg.edges()
+            )
+
+    def test_different_seed_changes_suite(self):
+        a = make_benchmark("swim", seed=1)
+        b = make_benchmark("swim", seed=2)
+        assert sorted((d.src, d.dst) for d in a.loops[0].ddg.edges()) != sorted(
+            (d.src, d.dst) for d in b.loops[0].ddg.edges()
+        )
+
+    def test_fpppp_is_compute_heavy(self):
+        fpppp = make_benchmark("fpppp")
+        swim = make_benchmark("swim")
+
+        def mem_fraction(benchmark: Benchmark) -> float:
+            total = sum(l.num_operations for l in benchmark.loops)
+            mem = sum(
+                1
+                for l in benchmark.loops
+                for op in l.ddg.operations()
+                if op.is_memory
+            )
+            return mem / total
+
+        assert mem_fraction(fpppp) < mem_fraction(swim) / 2
+
+    def test_total_dynamic_operations(self):
+        b = make_benchmark("tomcatv")
+        assert b.total_dynamic_operations() == sum(
+            l.num_operations * l.trip_count for l in b.loops
+        )
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            make_benchmark("gcc")

@@ -19,6 +19,28 @@ from repro.workloads.spec import spec_suite
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: perf-trajectory benchmarks that emit BENCH_schedule.json; "
+        "opt-in via `-m bench` and never gating",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Make ``bench``-marked tests opt-in: they only run under ``-m bench``.
+
+    They time the schedulers for the committed perf baseline, which is
+    meaningless (and slow) as part of an ordinary test run.
+    """
+    if "bench" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="perf baseline: run with -m bench")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def suite():
     """The full ten-program suite (shared across all benchmarks)."""

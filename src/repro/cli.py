@@ -6,6 +6,8 @@ Commands:
   with one algorithm; prints the kernel listing and the statistics.
 * ``evaluate`` — run a figure panel of the paper's evaluation on the
   synthetic suite and print the table (optionally CSV/JSON).
+* ``bench`` — run the Table 2 timing on a chosen machine preset and print
+  the scheduling CPU seconds per scheduler (a perf check without pytest).
 * ``workloads`` — describe the synthetic suite's loop shapes.
 * ``machines`` — list the built-in machine configurations.
 
@@ -13,6 +15,7 @@ Examples::
 
     python -m repro schedule --kernel daxpy --machine 2x32 --algorithm gp
     python -m repro evaluate --clusters 4 --registers 32 --programs 3
+    python -m repro bench --machine 4x64 --programs 3
     python -m repro workloads --program swim
     python -m repro machines
 """
@@ -129,6 +132,25 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .eval.figures import table2
+
+    suite = spec_suite()[: args.programs] if args.programs else spec_suite()
+    machine = parse_machine(args.machine)
+    result = table2(suite, [machine])
+    print(result.render())
+    config = result.configs[0]
+    per = result.seconds[config]
+    print()
+    print(
+        "schedule CPU seconds per benchmark "
+        f"({len(suite)} benchmarks, {config}):"
+    )
+    for name in ("uracam", "fixed-partition", "gp"):
+        print(f"  {name:16s} {per[name]:.4f}")
+    return 0
+
+
 def _cmd_machines(args: argparse.Namespace) -> int:
     print("Table 1 configurations:")
     for config in table1_configurations():
@@ -167,6 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--format", default="table",
                         choices=("table", "csv", "json"))
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the schedulers (Table 2) on one machine preset",
+    )
+    p_bench.add_argument("--machine", default="4x64",
+                         help="NxR[xB[xL]] or c6x/lx/tigersharc")
+    p_bench.add_argument("--programs", type=int, default=0,
+                         help="limit to the first N programs (0 = all)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_work = sub.add_parser("workloads", help="describe the synthetic suite")
     p_work.add_argument("--program", default=None, choices=PROGRAM_NAMES)

@@ -49,14 +49,17 @@ class SweepResult:
     def crossover(self, a: str, b: str) -> Optional[object]:
         """First sweep point where scheduler ``a`` overtakes ``b``.
 
-        Returns None if ``a`` never overtakes (or always leads).
+        "Overtakes" means: ``a`` trailed (or tied) at some earlier point and
+        now strictly leads.  Returns None if ``a`` never overtakes — either
+        because it leads from the very first point (nothing to overtake
+        from) or because it never pulls ahead.
         """
-        led_before = False
+        trailed_before = False
         for point, va, vb in zip(self.points, self.series[a], self.series[b]):
-            if va > vb and led_before:
+            if va > vb and trailed_before:
                 return point
-            led_before = va <= vb or led_before
-            if va > vb and not led_before:
+            trailed_before = va <= vb or trailed_before
+            if va > vb and not trailed_before:
                 return None  # a leads from the start
         return None
 

@@ -15,11 +15,22 @@ initiation interval (RecMII), which :func:`rec_mii` computes.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import GraphError
 from .ddg import DataDependenceGraph, Dependence
+
+#: Memoization of the II-parametric analyses.  Graphs are immutable once
+#: built and the schedulers re-analyze the same graph at the same II for
+#: every scheduling attempt and algorithm; weak keys let graphs die freely.
+_REC_MII_CACHE: "weakref.WeakKeyDictionary[DataDependenceGraph, int]" = (
+    weakref.WeakKeyDictionary()
+)
+_ANALYZE_CACHE: "weakref.WeakKeyDictionary[DataDependenceGraph, Dict[int, LoopAnalysis]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def effective_length(dep: Dependence, ii: int) -> int:
@@ -58,21 +69,31 @@ def rec_mii(ddg: DataDependenceGraph) -> int:
     ``sum(latency) <= II * sum(distance)``.  Found by binary search with a
     Bellman-Ford positive-cycle test, so no explicit cycle enumeration is
     needed.
+
+    The result is memoized per graph (graphs are immutable once built):
+    the II search loop and every scheduler re-ask for the same bound.
     """
+    cached = _REC_MII_CACHE.get(ddg)
+    if cached is not None:
+        return cached
     ddg.validate()
     if ddg.num_operations == 0:
-        return 1
-    hi = max(1, sum(dep.latency for dep in ddg.edges()))
-    if not _has_positive_cycle(ddg, 1):
-        return 1
-    lo = 1  # known infeasible
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if _has_positive_cycle(ddg, mid):
-            lo = mid
+        result = 1
+    else:
+        hi = max(1, sum(dep.latency for dep in ddg.edges()))
+        if not _has_positive_cycle(ddg, 1):
+            result = 1
         else:
-            hi = mid
-    return hi
+            lo = 1  # known infeasible
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if _has_positive_cycle(ddg, mid):
+                    lo = mid
+                else:
+                    hi = mid
+            result = hi
+    _REC_MII_CACHE[ddg] = result
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -189,7 +210,14 @@ def analyze(
     Raises:
         GraphError: if the longest-path computation does not converge, i.e.
             ``ii`` is below the (possibly modified) recurrence bound.
+
+    Plain analyses (no ``extra_edge_latency``) are memoized per (graph, II);
+    the returned :class:`LoopAnalysis` is shared and must not be mutated.
     """
+    if extra_edge_latency is None:
+        per_ii = _ANALYZE_CACHE.get(ddg)
+        if per_ii is not None and ii in per_ii:
+            return per_ii[ii]
 
     def length(dep: Dependence) -> int:
         lat = dep.latency
@@ -239,7 +267,10 @@ def analyze(
             break
     alap = {uid: makespan - tail[uid] for uid in uids}
 
-    return LoopAnalysis(ddg=ddg, ii=ii, asap=asap, alap=alap, makespan=makespan)
+    result = LoopAnalysis(ddg=ddg, ii=ii, asap=asap, alap=alap, makespan=makespan)
+    if extra_edge_latency is None:
+        _ANALYZE_CACHE.setdefault(ddg, {})[ii] = result
+    return result
 
 
 def max_edge_slack(analysis: LoopAnalysis) -> int:

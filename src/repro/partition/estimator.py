@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import PartitionError
 from ..ir.analysis import analyze
@@ -117,6 +117,10 @@ class PartitionEstimate:
     ncomm: int
     cut_edges: int
     critical_path: int
+    #: Total slack of the cut DATA edges (the refinement tie-breaker); filled
+    #: by the same edge sweep that prices the partition so the refiner does
+    #: not need a second pass.
+    cut_slack: int = 0
 
 
 class PartitionEstimator:
@@ -160,20 +164,159 @@ class PartitionEstimator:
         self._bus_latency = machine.bus_latency
         self._num_buses = machine.num_buses
         self._clustered = machine.is_clustered
+        # Index-based mirrors of the uid-keyed structures: the estimate is
+        # the refinement loop's inner cost function, and list indexing beats
+        # dict lookups in the per-move sweeps below.
+        self._index_of = {uid: i for i, uid in enumerate(self._uids)}
+        self._n = len(self._uids)
+        self._iedges: List[Tuple[int, int, int, int, bool]] = [
+            (self._index_of[src], self._index_of[dst], lat, distance, carries)
+            for src, dst, lat, distance, carries in self._edges
+        ]
+        self._latency_arr = [self._op_latency[uid] for uid in self._uids]
+        self._class_arr = [self._class_of[uid] for uid in self._uids]
+        # ii -> per-edge base length (latency - ii*distance), reused across
+        # the thousands of estimates the refiner prices at the same II.
+        self._length_cache: Dict[int, List[int]] = {}
+        # Value-carrying edges only, with their slack: the communication
+        # sweep never looks at the rest.
+        self._carry_edges: List[Tuple[int, int, int, int]] = [
+            (i, si, di, self._sorted_edge_slacks[i])
+            for i, (si, di, _lat, _dist, carries) in enumerate(self._iedges)
+            if carries
+        ]
+        # The uncut critical path is nonincreasing in II, so its value at an
+        # II no estimate can exceed bounds every partition's path from below
+        # (lazily computed).
+        self._nocut_path_floor: Optional[int] = None
+        # ii -> uncut critical path, the stronger per-II path floor (valid
+        # once ``ii`` is known to be feasible for the candidate's cut set).
+        self._nocut_path_cache: Dict[int, Optional[int]] = {}
+        # Smallest II feasible when *every* carry edge is cut — an upper
+        # bound on any cut set's recurrence MII (more cut edges only
+        # lengthen cycles), so ii >= this guarantees feasibility.
+        self._all_cut_rec_mii: Optional[int] = None
+        self._ii_ceiling = (
+            sum(e[2] for e in self._edges)
+            + self._bus_latency * len(self._edges)
+            + ii
+            + 1
+        )
+        # uid index -> incident value-carrying edge records, for the
+        # delta-maintained CommState sessions.
+        self._incident_carry: List[List[Tuple[int, int, int, int]]] = [
+            [] for _ in range(self._n)
+        ]
+        for record in self._carry_edges:
+            _i, si, di, _slack = record
+            self._incident_carry[si].append(record)
+            if di != si:
+                self._incident_carry[di].append(record)
 
     # ------------------------------------------------------------------
-    def estimate(self, assignment: Assignment) -> PartitionEstimate:
-        """Estimate the execution time of ``assignment`` (§3.2.2)."""
-        if len(assignment) < len(self._uids):
+    def estimate(
+        self,
+        assignment: Assignment,
+        bound: Optional[int] = None,
+        cluster_class_counts: Optional[Sequence[Sequence[int]]] = None,
+        comm_state: "Optional[CommState]" = None,
+    ) -> Optional[PartitionEstimate]:
+        """Estimate the execution time of ``assignment`` (§3.2.2).
+
+        When ``bound`` is given and a cheap lower bound on the execution
+        time already exceeds it, returns None instead of paying for the
+        remaining computation — the refiner passes its incumbent score so
+        clearly-losing candidate moves are rejected early.  The pruning is
+        exact: it fires only when the true estimate is strictly worse than
+        ``bound``.
+
+        ``cluster_class_counts[cluster][class index]`` — the operation
+        counts the refiner already maintains incrementally — skips this
+        function's own O(ops) recount.  ``comm_state`` — a
+        :meth:`comm_session` the refiner keeps in step with its moves —
+        skips the edge sweep entirely.  Callers must keep both consistent
+        with ``assignment``.
+        """
+        if len(assignment) < self._n:
             missing = [uid for uid in self._uids if uid not in assignment]
             raise PartitionError(f"assignment misses operations {missing[:5]}")
 
-        ncomm, cut_count, comm_mem = self._comm_counts(assignment)
+        if comm_state is not None:
+            return self._price(
+                ncomm=comm_state.ncomm,
+                cut_count=comm_state.cut_count,
+                slack_total=comm_state.slack_total,
+                get_comm_mem=comm_state.derive_comm_mem,
+                cut_idx=comm_state.cut,
+                bound=bound,
+                cluster_class_counts=cluster_class_counts,
+                assignment=assignment,
+            )
+        # One fused sweep over the value-carrying edges: cut edge indices
+        # (reused by the critical path), transfer pairs, per-cluster
+        # memory-route usage and the cut slack the refiner tie-breaks on.
+        asg = [assignment[uid] for uid in self._uids]
+        cut_idx: List[int] = []
+        pairs = set()
+        slack_total = 0
+        comm_mem = [0] * self.machine.num_clusters
+        for i, si, di, slack in self._carry_edges:
+            cs = asg[si]
+            cd = asg[di]
+            if cs == cd:
+                continue
+            cut_idx.append(i)
+            slack_total += slack
+            pair = (si, cd)
+            if pair not in pairs:
+                pairs.add(pair)
+                comm_mem[cs] += 1
+                comm_mem[cd] += 1
+        return self._price(
+            ncomm=len(pairs),
+            cut_count=len(cut_idx),
+            slack_total=slack_total,
+            get_comm_mem=lambda: comm_mem,
+            cut_idx=cut_idx,
+            bound=bound,
+            cluster_class_counts=cluster_class_counts,
+            assignment=assignment,
+            asg=asg,
+        )
+
+    def _price(
+        self,
+        ncomm: int,
+        cut_count: int,
+        slack_total: int,
+        get_comm_mem,
+        cut_idx,
+        bound: Optional[int],
+        cluster_class_counts: Optional[Sequence[Sequence[int]]],
+        assignment: Optional[Assignment] = None,
+        asg: Optional[List[int]] = None,
+    ) -> Optional[PartitionEstimate]:
+        """Shared pricing tail of :meth:`estimate` and :meth:`estimate_preview`.
+
+        ``get_comm_mem`` and ``cut_idx`` may be lazy: the memory-route usage
+        is only derived on bus overflow, and a callable ``cut_idx`` is only
+        materialized when the critical path is actually computed (i.e. the
+        candidate survived both prunes).
+        """
         ii_bus = (
             math.ceil(ncomm * self._bus_latency / self._num_buses)
             if (self._clustered and ncomm)
             else 0
         )
+        trip = self.loop.trip_count - 1
+        if bound is not None:
+            # Early exact prune: ii_est can only be >= max(ii, ii_bus), and
+            # no partition's critical path undercuts the uncut floor.
+            floor = self._path_floor()
+            if floor is not None and (
+                trip * max(self.ii, ii_bus) + floor > bound
+            ):
+                return None
         # Transfers the bus cannot absorb at the requested interval will go
         # through memory (§3.1/§3.3.2): a store in the producer's cluster
         # plus a load in the consumer's.  Charge that port usage to the
@@ -183,18 +326,45 @@ class PartitionEstimator:
             bus_capacity = (self.ii * self._num_buses) // self._bus_latency
             overflow = max(0, ncomm - bus_capacity)
             overflow_fraction = overflow / ncomm
-        mem_extra = [usage * overflow_fraction for usage in comm_mem]
-        res_ii = self._cluster_res_mii(assignment, mem_extra)
+        if overflow_fraction > 0.0:
+            mem_extra: Optional[List[float]] = [
+                usage * overflow_fraction for usage in get_comm_mem()
+            ]
+        else:
+            mem_extra = None
+        if cluster_class_counts is not None:
+            res_ii = self._res_mii_from_counts(cluster_class_counts, mem_extra)
+        else:
+            if asg is None:
+                asg = [assignment[uid] for uid in self._uids]
+            res_ii = self._cluster_res_mii(asg, mem_extra)
         ii_est = max(self.ii, ii_bus, res_ii)
 
-        path = self._longest_path(assignment, ii_est)
+        if bound is not None:
+            # Second exact prune with the tighter ii_est.  When ii_est is
+            # provably feasible for any cut set (>= the all-cut recurrence
+            # MII) the uncut path *at ii_est* is a valid floor; otherwise
+            # the II could still rise and shrink the path, so only the
+            # global floor is sound.
+            if ii_est >= self._all_cut_mii():
+                floor = self._nocut_at(ii_est)
+                if floor is not None and trip * ii_est + floor > bound:
+                    return None
+            else:
+                floor = self._path_floor()
+                if floor is not None and trip * ii_est + floor > bound:
+                    return None
+
+        if callable(cut_idx):
+            cut_idx = cut_idx()
+        path = self._longest_path(cut_idx, ii_est)
         if path is None:
-            ii_est = self._rec_mii_with_cut(assignment, lower_bound=ii_est)
-            path = self._longest_path(assignment, ii_est)
+            ii_est = self._rec_mii_with_cut(cut_idx, lower_bound=ii_est)
+            path = self._longest_path(cut_idx, ii_est)
             if path is None:  # pragma: no cover - defensive
                 raise PartitionError("estimator failed to converge")
 
-        exec_time = (self.loop.trip_count - 1) * ii_est + path
+        exec_time = trip * ii_est + path
         return PartitionEstimate(
             exec_time=exec_time,
             ii_est=ii_est,
@@ -202,7 +372,61 @@ class PartitionEstimator:
             ncomm=ncomm,
             cut_edges=cut_count,
             critical_path=path,
+            cut_slack=slack_total,
         )
+
+    #: Whether refiners may score candidate moves through
+    #: :meth:`estimate_preview` (subclasses that need the full assignment,
+    #: like the pressure-aware estimator, opt out).
+    supports_preview = True
+
+    def estimate_preview(
+        self,
+        preview: "CommPreview",
+        bound: Optional[int] = None,
+        cluster_class_counts: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Optional[PartitionEstimate]:
+        """Price a previewed move set without mutating any state.
+
+        ``cluster_class_counts`` is required (there is no assignment to
+        recount from).
+        """
+        if cluster_class_counts is None:
+            raise PartitionError("estimate_preview requires cluster_class_counts")
+        return self._price(
+            ncomm=preview.ncomm,
+            cut_count=preview.cut_count,
+            slack_total=preview.slack_total,
+            get_comm_mem=preview.derive_comm_mem,
+            cut_idx=preview.cut_for_path,
+            bound=bound,
+            cluster_class_counts=cluster_class_counts,
+        )
+
+    def _path_floor(self) -> Optional[int]:
+        """The uncut critical path at an II no estimate can exceed.
+
+        Edge lengths are nonincreasing in II, so this value bounds every
+        partition's critical path (at any feasible ``ii_est``) from below.
+        """
+        if self._nocut_path_floor is None:
+            self._nocut_path_floor = self._longest_path(None, self._ii_ceiling)
+        return self._nocut_path_floor
+
+    def _nocut_at(self, ii: int) -> Optional[int]:
+        """The uncut critical path at ``ii`` (cached per II)."""
+        if ii in self._nocut_path_cache:
+            return self._nocut_path_cache[ii]
+        path = self._longest_path(None, ii)
+        self._nocut_path_cache[ii] = path
+        return path
+
+    def _all_cut_mii(self) -> int:
+        """Smallest II feasible with every carry edge cut (lazily cached)."""
+        if self._all_cut_rec_mii is None:
+            all_cut = [record[0] for record in self._carry_edges]
+            self._all_cut_rec_mii = self._rec_mii_with_cut(all_cut, lower_bound=1)
+        return self._all_cut_rec_mii
 
     def cut_slack_total(self, assignment: Assignment) -> int:
         """Total slack of cut DATA edges (first refinement tie-breaker)."""
@@ -215,35 +439,24 @@ class PartitionEstimator:
         return total
 
     # ------------------------------------------------------------------
-    def _comm_counts(self, assignment: Assignment) -> Tuple[int, int, List[int]]:
-        """(transfers, cut edges, per-cluster memory ops if routed via memory).
-
-        The third element counts, for every transfer, one store in the
-        producer's cluster and one load in the consumer's — the port usage a
-        memory-routed communication would cost each cluster.
-        """
-        pairs = set()
-        cut = 0
-        comm_mem = [0] * self.machine.num_clusters
-        for src, dst, _lat, _dist, carries in self._edges:
-            if carries and assignment[src] != assignment[dst]:
-                cut += 1
-                pair = (src, assignment[dst])
-                if pair not in pairs:
-                    pairs.add(pair)
-                    comm_mem[assignment[src]] += 1
-                    comm_mem[assignment[dst]] += 1
-        return len(pairs), cut, comm_mem
-
     def _cluster_res_mii(
-        self, assignment: Assignment, mem_extra: Optional[Sequence[float]] = None
+        self, asg: Sequence[int], mem_extra: Optional[Sequence[float]] = None
+    ) -> int:
+        """Resource MII over clusters; ``asg`` is indexed like ``_uids``."""
+        counts = [
+            [0] * len(OpClass) for _ in range(self.machine.num_clusters)
+        ]
+        class_arr = self._class_arr
+        for i in range(self._n):
+            counts[asg[i]][class_arr[i]] += 1
+        return self._res_mii_from_counts(counts, mem_extra)
+
+    def _res_mii_from_counts(
+        self,
+        counts: Sequence[Sequence[int]],
+        mem_extra: Optional[Sequence[float]] = None,
     ) -> int:
         n_classes = len(OpClass)
-        counts = [
-            [0] * n_classes for _ in range(self.machine.num_clusters)
-        ]
-        for uid in self._uids:
-            counts[assignment[uid]][self._class_of[uid]] += 1
         mem_index = _CLASS_INDEX[OpClass.MEM]
         worst = 1
         for cluster in range(self.machine.num_clusters):
@@ -261,31 +474,59 @@ class PartitionEstimator:
                     worst = need
         return worst
 
-    def _longest_path(self, assignment: Assignment, ii: int) -> Optional[int]:
+    def _longest_path(
+        self, cut_idx: Optional[Sequence[int]], ii: int
+    ) -> Optional[int]:
         """Critical path with bus delays on cut DATA edges, or None if the
-        modified recurrences make ``ii`` infeasible."""
-        if not self._uids:
+        modified recurrences make ``ii`` infeasible.
+
+        ``cut_idx`` lists the cut edges' indices into ``_iedges`` (None =
+        no cut edges); the per-edge base lengths are cached per II across
+        estimates.
+        """
+        n = self._n
+        if not n:
             return 0
-        dist = dict.fromkeys(self._uids, 0)
+        base = self._length_cache.get(ii)
+        if base is None:
+            base = [lat - ii * distance for _si, _di, lat, distance, _c in self._iedges]
+            self._length_cache[ii] = base
         bus = self._bus_latency
-        n = len(self._uids)
+        if not cut_idx:
+            lengths = base
+        else:
+            lengths = list(base)
+            for i in cut_idx:
+                lengths[i] += bus
+        iedges = self._iedges
+        dist = [0] * n
         for _ in range(n + 1):
             changed = False
-            for src, dst, lat, distance, carries in self._edges:
-                length = lat - ii * distance
-                if carries and assignment[src] != assignment[dst]:
-                    length += bus
-                cand = dist[src] + length
-                if cand > dist[dst]:
-                    dist[dst] = cand
+            for (si, di, _lat, _distance, _c), length in zip(iedges, lengths):
+                cand = dist[si] + length
+                if cand > dist[di]:
+                    dist[di] = cand
                     changed = True
             if not changed:
-                return max(dist[uid] + self._op_latency[uid] for uid in self._uids)
+                latency_arr = self._latency_arr
+                return max(dist[i] + latency_arr[i] for i in range(n))
         return None
 
-    def _rec_mii_with_cut(self, assignment: Assignment, lower_bound: int) -> int:
+    # ------------------------------------------------------------------
+    def comm_session(self, assignment: Assignment) -> "CommState":
+        """Start a delta-maintained communication-state session.
+
+        The refiner prices hundreds of single-group moves against one base
+        assignment; a session keeps the cut set, transfer pairs, slack and
+        memory-route usage incrementally (O(degree) per move) instead of
+        re-sweeping every edge per candidate.  Callers must mirror every
+        assignment mutation through :meth:`CommState.move_uids`.
+        """
+        return CommState(self, assignment)
+
+    def _rec_mii_with_cut(self, cut_idx: Sequence[int], lower_bound: int) -> int:
         lo = lower_bound
-        if self._longest_path(assignment, lo) is not None:
+        if self._longest_path(cut_idx, lo) is not None:
             return lo
         hi = max(
             lo + 1,
@@ -295,8 +536,270 @@ class PartitionEstimator:
         )
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            if self._longest_path(assignment, mid) is None:
+            if self._longest_path(cut_idx, mid) is None:
                 lo = mid
             else:
                 hi = mid
         return hi
+
+
+class CommState:
+    """Delta-maintained communication state of one refinement session.
+
+    Mirrors exactly what :meth:`PartitionEstimator.estimate`'s full edge
+    sweep derives — the cut edge set, distinct (producer, remote cluster)
+    transfer pairs, cut slack and per-cluster memory-route usage — but
+    updated per moved operation instead of per edge.  :meth:`verify`
+    cross-checks against the full sweep and is exercised by the tests.
+    """
+
+    __slots__ = (
+        "est",
+        "asg",
+        "edge_clusters",
+        "cut",
+        "slack_total",
+        "pair_counts",
+    )
+
+    def __init__(self, est: PartitionEstimator, assignment: Assignment) -> None:
+        self.est = est
+        self.asg = [assignment[uid] for uid in est._uids]
+        self.edge_clusters: Dict[int, Tuple[int, int]] = {}
+        self.cut: Set[int] = set()
+        self.slack_total = 0
+        self.pair_counts: Dict[Tuple[int, int], int] = {}
+        asg = self.asg
+        for i, si, di, slack in est._carry_edges:
+            cs = asg[si]
+            cd = asg[di]
+            self.edge_clusters[i] = (cs, cd)
+            if cs != cd:
+                self._add_cut(i, si, slack, cd)
+
+    # -- internal ------------------------------------------------------
+    def _add_cut(self, i: int, si: int, slack: int, cd: int) -> None:
+        self.cut.add(i)
+        self.slack_total += slack
+        pair = (si, cd)
+        self.pair_counts[pair] = self.pair_counts.get(pair, 0) + 1
+
+    def _remove_cut(self, i: int, si: int, slack: int, cd: int) -> None:
+        self.cut.discard(i)
+        self.slack_total -= slack
+        pair = (si, cd)
+        count = self.pair_counts[pair] - 1
+        if count:
+            self.pair_counts[pair] = count
+        else:
+            del self.pair_counts[pair]
+
+    def derive_comm_mem(self) -> List[int]:
+        """Per-cluster memory-route usage of the current transfer pairs.
+
+        Derived on demand from the live pair set: the producer's cluster is
+        read from the *current* assignment, so producer moves that keep a
+        pair alive charge the right cluster (a running counter updated on
+        pair create/destroy would go stale).
+        """
+        mem = [0] * self.est.machine.num_clusters
+        asg = self.asg
+        for si, cd in self.pair_counts:
+            mem[asg[si]] += 1
+            mem[cd] += 1
+        return mem
+
+    # -- updates -------------------------------------------------------
+    def records_for(self, uids: Sequence[int]) -> Tuple[Tuple[int, int, int, int], ...]:
+        """Deduplicated incident carry-edge records of a group of uids.
+
+        The refiner precomputes these per hierarchy group so repeated
+        trial moves of the same group skip the per-uid union.
+        """
+        est = self.est
+        index_of = est._index_of
+        affected: Dict[int, Tuple[int, int, int, int]] = {}
+        for uid in uids:
+            for record in est._incident_carry[index_of[uid]]:
+                affected[record[0]] = record
+        return tuple(affected.values())
+
+    def move_uids(
+        self,
+        uids: Sequence[int],
+        target: int,
+        records: Optional[Sequence[Tuple[int, int, int, int]]] = None,
+    ) -> None:
+        """Reassign ``uids`` to cluster ``target`` and update the state.
+
+        ``records`` — the precomputed :meth:`records_for` of ``uids`` —
+        skips re-deriving the incident edge set per move.
+        """
+        est = self.est
+        index_of = est._index_of
+        asg = self.asg
+        if records is None:
+            records = self.records_for(uids)
+        for uid in uids:
+            asg[index_of[uid]] = target
+        edge_clusters = self.edge_clusters
+        for i, si, di, slack in records:
+            old_cs, old_cd = edge_clusters[i]
+            new_cs = asg[si]
+            new_cd = asg[di]
+            if old_cs == new_cs and old_cd == new_cd:
+                continue
+            if old_cs != old_cd:
+                self._remove_cut(i, si, slack, old_cd)
+            if new_cs != new_cd:
+                self._add_cut(i, si, slack, new_cd)
+            edge_clusters[i] = (new_cs, new_cd)
+
+    def preview_moves(
+        self,
+        moves: Sequence[Tuple[Sequence[int], Sequence[Tuple[int, int, int, int]], int]],
+    ) -> "CommPreview":
+        """Price-relevant state after applying ``moves``, without mutating.
+
+        ``moves`` is a sequence of ``(uids, records, target_cluster)`` —
+        one entry per group move (two entries model a swap).  The refiner
+        scores every candidate through a preview and only mutates for the
+        round's single winner.
+        """
+        est = self.est
+        index_of = est._index_of
+        asg = self.asg
+        over: Dict[int, int] = {}
+        records_union: Dict[int, Tuple[int, int, int, int]] = {}
+        for uids, records, target in moves:
+            for uid in uids:
+                over[index_of[uid]] = target
+            for record in records:
+                records_union[record[0]] = record
+        slack_total = self.slack_total
+        cut_count = len(self.cut)
+        ncomm = len(self.pair_counts)
+        pair_delta: Dict[Tuple[int, int], int] = {}
+        cut_removed: List[int] = []
+        cut_added: List[int] = []
+        edge_clusters = self.edge_clusters
+        pair_counts = self.pair_counts
+        for i, si, di, slack in records_union.values():
+            old_cs, old_cd = edge_clusters[i]
+            new_cs = over.get(si, asg[si])
+            new_cd = over.get(di, asg[di])
+            if old_cs == new_cs and old_cd == new_cd:
+                continue
+            if old_cs != old_cd:
+                cut_count -= 1
+                slack_total -= slack
+                cut_removed.append(i)
+                pair = (si, old_cd)
+                delta = pair_delta.get(pair, 0) - 1
+                pair_delta[pair] = delta
+                if pair_counts.get(pair, 0) + delta == 0:
+                    ncomm -= 1
+            if new_cs != new_cd:
+                cut_count += 1
+                slack_total += slack
+                cut_added.append(i)
+                pair = (si, new_cd)
+                delta = pair_delta.get(pair, 0)
+                if pair_counts.get(pair, 0) + delta == 0:
+                    ncomm += 1
+                pair_delta[pair] = delta + 1
+        return CommPreview(
+            self, over, ncomm, cut_count, slack_total, pair_delta,
+            cut_removed, cut_added,
+        )
+
+    # -- queries -------------------------------------------------------
+    @property
+    def ncomm(self) -> int:
+        return len(self.pair_counts)
+
+    @property
+    def cut_count(self) -> int:
+        return len(self.cut)
+
+    def verify(self, assignment: Assignment) -> None:
+        """Assert this state equals a fresh full-sweep derivation."""
+        fresh = CommState(self.est, assignment)
+        if (
+            self.asg != fresh.asg
+            or self.cut != fresh.cut
+            or self.slack_total != fresh.slack_total
+            or self.pair_counts != fresh.pair_counts
+            or self.edge_clusters != fresh.edge_clusters
+            or self.derive_comm_mem() != fresh.derive_comm_mem()
+        ):
+            raise AssertionError(
+                "delta-maintained CommState diverged from the full sweep"
+            )
+
+
+class CommPreview:
+    """The communication state a move set *would* produce (see
+    :meth:`CommState.preview_moves`).
+
+    Everything is computed as deltas over the live state; the expensive
+    derivations (full cut set, per-cluster memory usage) stay lazy because
+    most previews die on the estimator's bound prunes first.
+    """
+
+    __slots__ = (
+        "state",
+        "over",
+        "ncomm",
+        "cut_count",
+        "slack_total",
+        "pair_delta",
+        "cut_removed",
+        "cut_added",
+    )
+
+    def __init__(
+        self,
+        state: CommState,
+        over: Dict[int, int],
+        ncomm: int,
+        cut_count: int,
+        slack_total: int,
+        pair_delta: Dict[Tuple[int, int], int],
+        cut_removed: List[int],
+        cut_added: List[int],
+    ) -> None:
+        self.state = state
+        self.over = over
+        self.ncomm = ncomm
+        self.cut_count = cut_count
+        self.slack_total = slack_total
+        self.pair_delta = pair_delta
+        self.cut_removed = cut_removed
+        self.cut_added = cut_added
+
+    def cut_for_path(self) -> Set[int]:
+        """The full cut edge set under this preview (materialized lazily)."""
+        cut = set(self.state.cut)
+        cut.difference_update(self.cut_removed)
+        cut.update(self.cut_added)
+        return cut
+
+    def derive_comm_mem(self) -> List[int]:
+        """Per-cluster memory-route usage under this preview."""
+        state = self.state
+        asg = state.asg
+        over = self.over
+        pair_delta = self.pair_delta
+        mem = [0] * state.est.machine.num_clusters
+        for pair, count in state.pair_counts.items():
+            if count + pair_delta.get(pair, 0) > 0:
+                si, cd = pair
+                mem[over.get(si, asg[si])] += 1
+                mem[cd] += 1
+        for pair, delta in pair_delta.items():
+            if pair not in state.pair_counts and delta > 0:
+                si, cd = pair
+                mem[over.get(si, asg[si])] += 1
+                mem[cd] += 1
+        return mem

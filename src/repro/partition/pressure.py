@@ -72,8 +72,22 @@ class PressureAwareEstimator(PartitionEstimator):
         super().__init__(loop, machine, ii)
         self.penalty_per_excess = penalty_per_excess
 
-    def estimate(self, assignment: Assignment) -> PartitionEstimate:
-        base = super().estimate(assignment)
+    #: The pressure penalty needs the full uid assignment, which previews
+    #: do not materialize — refiners must score through estimate().
+    supports_preview = False
+
+    def estimate(self, assignment, bound=None, cluster_class_counts=None,
+                 comm_state=None):
+        # The pressure penalty only ever raises exec_time, so the base
+        # estimator's bound prune stays exact here.
+        base = super().estimate(
+            assignment,
+            bound=bound,
+            cluster_class_counts=cluster_class_counts,
+            comm_state=comm_state,
+        )
+        if base is None:
+            return None
         pressure = estimate_register_pressure(
             self.loop, assignment, self.ii, self._analysis
         )
@@ -93,4 +107,5 @@ class PressureAwareEstimator(PartitionEstimator):
             ncomm=base.ncomm,
             cut_edges=base.cut_edges,
             critical_path=base.critical_path,
+            cut_slack=base.cut_slack,
         )

@@ -37,6 +37,11 @@ from .estimator import PartitionEstimator
 GroupAssignment = Dict[int, int]
 
 _CLASSES = list(OpClass)
+#: Class index used for the compact per-cluster/per-group count arrays.
+_CLASS_INDEX = {cls: i for i, cls in enumerate(_CLASSES)}
+_N_CLASSES = len(_CLASSES)
+#: Sort key preserving the paper-order tie-break (the class *name*).
+_CLASS_SORT_KEY = [cls.value for cls in _CLASSES]
 
 
 @dataclass(frozen=True)
@@ -71,12 +76,13 @@ class Refiner:
         #: the trade the estimator needs to be allowed to price.
         self._cut_capacity = self._capacity
 
-    def _capacity_at(self, ii: int) -> List[Dict[OpClass, int]]:
+    def _capacity_at(self, ii: int) -> List[List[int]]:
+        """capacity[cluster][class index] — issue slots at this II."""
         return [
-            {
-                cls: self.machine.cluster(c).units_for_class(cls) * ii
+            [
+                self.machine.cluster(c).units_for_class(cls) * ii
                 for cls in _CLASSES
-            }
+            ]
             for c in range(self.machine.num_clusters)
         ]
 
@@ -91,49 +97,52 @@ class Refiner:
                 out[uid] = cluster
         return out
 
-    def _class_counts(self, level: Level) -> Dict[int, Dict[OpClass, int]]:
-        """Operations of each class inside each group."""
-        counts: Dict[int, Dict[OpClass, int]] = {}
+    def _class_counts(self, level: Level) -> Dict[int, List[int]]:
+        """Operations of each class (by class index) inside each group."""
+        counts: Dict[int, List[int]] = {}
         for gid, uids in level.items():
-            per: Dict[OpClass, int] = {}
+            per = [0] * _N_CLASSES
             for uid in uids:
-                cls = self._ddg.operation(uid).op_class
-                per[cls] = per.get(cls, 0) + 1
+                per[_CLASS_INDEX[self._ddg.operation(uid).op_class]] += 1
             counts[gid] = per
         return counts
 
     def _cluster_loads(
         self, level: Level, groups: GroupAssignment, class_counts
-    ) -> List[Dict[OpClass, int]]:
-        loads: List[Dict[OpClass, int]] = [
-            {cls: 0 for cls in _CLASSES} for _ in range(self.machine.num_clusters)
+    ) -> List[List[int]]:
+        loads: List[List[int]] = [
+            [0] * _N_CLASSES for _ in range(self.machine.num_clusters)
         ]
         for gid in level:
-            cluster = groups[gid]
-            for cls, count in class_counts[gid].items():
-                loads[cluster][cls] += count
+            row = loads[groups[gid]]
+            for idx, count in enumerate(class_counts[gid]):
+                row[idx] += count
         return loads
 
     # ------------------------------------------------------------------
     # Heuristic 1: workload balancing
     # ------------------------------------------------------------------
     def balance_workload(
-        self, level: Level, groups: GroupAssignment
+        self, level: Level, groups: GroupAssignment,
+        class_counts: Optional[Dict[int, List[int]]] = None,
     ) -> GroupAssignment:
         """Remove resource overloads by moving groups (first-fit)."""
         groups = dict(groups)
-        class_counts = self._class_counts(level)
+        if class_counts is None:
+            class_counts = self._class_counts(level)
         for _ in range(self.max_rounds):
             loads = self._cluster_loads(level, groups, class_counts)
             overloaded = [
-                (cluster, cls, loads[cluster][cls] / max(1, self._capacity[cluster][cls]))
+                (cluster, idx, loads[cluster][idx] / max(1, self._capacity[cluster][idx]))
                 for cluster in range(self.machine.num_clusters)
-                for cls in _CLASSES
-                if loads[cluster][cls] > self._capacity[cluster][cls]
+                for idx in range(_N_CLASSES)
+                if loads[cluster][idx] > self._capacity[cluster][idx]
             ]
             if not overloaded:
                 return groups
-            overloaded.sort(key=lambda item: (-item[2], item[0], item[1].value))
+            overloaded.sort(
+                key=lambda item: (-item[2], item[0], _CLASS_SORT_KEY[item[1]])
+            )
             if not self._balance_step(level, groups, class_counts, loads, overloaded):
                 return groups
         return groups
@@ -142,20 +151,20 @@ class Refiner:
         self, level, groups, class_counts, loads, overloaded
     ) -> bool:
         """Apply one balancing move; returns False if none is possible."""
-        criticality_order = [(cl, cls) for cl, cls, _sat in overloaded]
-        for rank, (cluster, cls, _sat) in enumerate(overloaded):
+        criticality_order = [(cl, idx) for cl, idx, _sat in overloaded]
+        for rank, (cluster, idx, _sat) in enumerate(overloaded):
             movable = sorted(
                 (
                     gid
                     for gid in level
-                    if groups[gid] == cluster and class_counts[gid].get(cls, 0) > 0
+                    if groups[gid] == cluster and class_counts[gid][idx] > 0
                 ),
-                key=lambda gid: (-class_counts[gid].get(cls, 0), gid),
+                key=lambda gid: (-class_counts[gid][idx], gid),
             )
-            protected = {c for (_cl, c) in criticality_order[: rank + 1]}
+            protected = {i for (_cl, i) in criticality_order[: rank + 1]}
             targets = sorted(
                 (c for c in range(self.machine.num_clusters) if c != cluster),
-                key=lambda c: (loads[c][cls], c),
+                key=lambda c: (loads[c][idx], c),
             )
             for gid in movable:
                 for target in targets:
@@ -166,84 +175,131 @@ class Refiner:
                         return True
         return False
 
-    def _fits_after_add(self, loads, group_counts, target, classes) -> bool:
-        for cls in classes:
-            new_load = loads[target][cls] + group_counts.get(cls, 0)
-            if new_load > self._capacity[target][cls]:
+    def _fits_after_add(self, loads, group_counts, target, class_indices) -> bool:
+        for idx in class_indices:
+            if loads[target][idx] + group_counts[idx] > self._capacity[target][idx]:
                 return False
         return True
 
     # ------------------------------------------------------------------
     # Heuristic 2: cut-impact minimization
     # ------------------------------------------------------------------
-    def _score(self, assignment: Dict[int, int]) -> Tuple[int, int, int]:
-        """Lexicographic objective: (exec time, -cut slack, cut edges)."""
-        est = self.estimator.estimate(assignment)
-        slack = self.estimator.cut_slack_total(assignment)
-        return (est.exec_time, -slack, est.cut_edges)
+    def _score(
+        self,
+        assignment: Dict[int, int],
+        bound: Optional[int] = None,
+        loads: Optional[List[List[int]]] = None,
+        comm=None,
+    ) -> Optional[Tuple[int, int, int]]:
+        """Lexicographic objective: (exec time, -cut slack, cut edges).
+
+        With ``bound``, returns None when the estimator proves the exec
+        time strictly exceeds it (the candidate cannot win).  ``loads`` —
+        the incrementally maintained cluster/class counts — and ``comm`` —
+        the delta-maintained communication session — spare the estimator
+        its own per-candidate sweeps.
+        """
+        est = self.estimator.estimate(
+            assignment, bound=bound, cluster_class_counts=loads, comm_state=comm
+        )
+        if est is None:
+            return None
+        return (est.exec_time, -est.cut_slack, est.cut_edges)
 
     def _move_fits(self, loads, class_counts, gid, source, target) -> bool:
-        for cls, count in class_counts[gid].items():
-            if loads[target][cls] + count > self._cut_capacity[target][cls]:
+        target_loads = loads[target]
+        cap = self._cut_capacity[target]
+        for idx, count in enumerate(class_counts[gid]):
+            if count and target_loads[idx] + count > cap[idx]:
                 return False
         return True
 
     def _swap_fits(self, loads, class_counts, gid, other, cl_g, cl_o) -> bool:
-        for cls in _CLASSES:
-            delta_g = class_counts[gid].get(cls, 0)
-            delta_o = class_counts[other].get(cls, 0)
-            if loads[cl_o][cls] - delta_o + delta_g > self._cut_capacity[cl_o][cls]:
+        counts_g = class_counts[gid]
+        counts_o = class_counts[other]
+        loads_g = loads[cl_g]
+        loads_o = loads[cl_o]
+        cap_g = self._cut_capacity[cl_g]
+        cap_o = self._cut_capacity[cl_o]
+        for idx in range(_N_CLASSES):
+            delta_g = counts_g[idx]
+            delta_o = counts_o[idx]
+            if loads_o[idx] - delta_o + delta_g > cap_o[idx]:
                 return False
-            if loads[cl_g][cls] - delta_g + delta_o > self._cut_capacity[cl_g][cls]:
+            if loads_g[idx] - delta_g + delta_o > cap_g[idx]:
                 return False
         return True
 
     def _boundary_candidates(
         self, level: Level, groups: GroupAssignment, class_counts, loads,
-        group_of: Dict[int, int],
+        group_pairs: List[Tuple[int, int]],
+        sorted_gids: List[int], gids_by_size: List[int],
     ) -> List[_Candidate]:
-        """Moves of boundary groups plus fallback swaps (paper §3.2.2)."""
+        """Moves of boundary groups plus fallback swaps (paper §3.2.2).
+
+        ``group_pairs`` is the deduplicated cross-group edge list of this
+        level and ``sorted_gids``/``gids_by_size`` its fixed orderings, so
+        each round only scans group pairs instead of every DDG edge and
+        never re-sorts.
+        """
         neighbour_clusters: Dict[int, Set[int]] = {gid: set() for gid in level}
-        for dep in self._ddg.edges():
-            gu, gv = group_of[dep.src], group_of[dep.dst]
-            if gu == gv:
-                continue
+        for gu, gv in group_pairs:
             cu, cv = groups[gu], groups[gv]
             if cu != cv:
                 neighbour_clusters[gu].add(cv)
                 neighbour_clusters[gv].add(cu)
 
         candidates: List[_Candidate] = []
-        for gid in sorted(level):
+        for gid in sorted_gids:
+            neighbours = neighbour_clusters[gid]
+            if not neighbours:
+                continue
             source = groups[gid]
-            for target in sorted(neighbour_clusters[gid]):
+            for target in sorted(neighbours):
                 if self._move_fits(loads, class_counts, gid, source, target):
                     candidates.append(_Candidate(gid, target))
                 else:
-                    others = sorted(
-                        (g for g in level if groups[g] == target and g != gid),
-                        key=lambda g: (len(level[g]), g),
-                    )[: self.max_swaps_per_group]
-                    for other in others:
+                    count = 0
+                    for other in gids_by_size:
+                        if groups[other] != target or other == gid:
+                            continue
+                        count += 1
                         if self._swap_fits(
                             loads, class_counts, gid, other, source, target
                         ):
                             candidates.append(_Candidate(gid, target, swap_with=other))
+                        if count >= self.max_swaps_per_group:
+                            break
         return candidates
 
     def minimize_cut_impact(
-        self, level: Level, groups: GroupAssignment
+        self, level: Level, groups: GroupAssignment,
+        class_counts: Optional[Dict[int, List[int]]] = None,
     ) -> GroupAssignment:
         """Apply best-improvement moves/swaps until no candidate helps."""
         groups = dict(groups)
-        class_counts = self._class_counts(level)
+        if class_counts is None:
+            class_counts = self._class_counts(level)
         group_of: Dict[int, int] = {}
         for gid, uids in level.items():
             for uid in uids:
                 group_of[uid] = gid
+        group_pairs = sorted(
+            {
+                (group_of[dep.src], group_of[dep.dst])
+                for dep in self._ddg.edges()
+                if group_of[dep.src] != group_of[dep.dst]
+            }
+        )
         assignment = self._uid_assignment(level, groups)
         loads = self._cluster_loads(level, groups, class_counts)
-        current = self._score(assignment)
+        comm = self.estimator.comm_session(assignment)
+        # Per-group constants of this level: incident carry-edge records for
+        # the delta updates, and the candidate/swap orderings.
+        group_records = {gid: comm.records_for(uids) for gid, uids in level.items()}
+        sorted_gids = sorted(level)
+        gids_by_size = sorted(level, key=lambda g: (len(level[g]), g))
+        current = self._score(assignment, loads=loads, comm=comm)
 
         def apply_candidate(cand: _Candidate) -> Tuple[int, ...]:
             """Apply in place; returns the inverse recipe (moves to undo)."""
@@ -251,17 +307,17 @@ class Refiner:
             if cand.swap_with is None:
                 self._apply_move(
                     level, class_counts, cand.group, src_g, cand.to_cluster,
-                    groups, assignment, loads,
+                    groups, assignment, loads, comm, group_records,
                 )
                 return (cand.group, src_g)
             src_o = groups[cand.swap_with]
             self._apply_move(
                 level, class_counts, cand.group, src_g, src_o,
-                groups, assignment, loads,
+                groups, assignment, loads, comm, group_records,
             )
             self._apply_move(
                 level, class_counts, cand.swap_with, src_o, src_g,
-                groups, assignment, loads,
+                groups, assignment, loads, comm, group_records,
             )
             return (cand.group, src_g, cand.swap_with, src_o)
 
@@ -270,18 +326,63 @@ class Refiner:
                 gid, original = recipe[i], recipe[i + 1]
                 self._apply_move(
                     level, class_counts, gid, groups[gid], original,
-                    groups, assignment, loads,
+                    groups, assignment, loads, comm, group_records,
                 )
+
+        use_preview = getattr(self.estimator, "supports_preview", False)
+
+        def preview_score(cand: _Candidate, bound: int):
+            """Score a candidate without mutating any state."""
+            moves = [
+                (level[cand.group], group_records[cand.group], cand.to_cluster)
+            ]
+            deltas = [(cand.group, groups[cand.group], cand.to_cluster)]
+            if cand.swap_with is not None:
+                src_g = groups[cand.group]
+                moves.append(
+                    (level[cand.swap_with], group_records[cand.swap_with], src_g)
+                )
+                deltas.append((cand.swap_with, groups[cand.swap_with], src_g))
+            loads_preview = [row[:] for row in loads]
+            for gid, source, target in deltas:
+                source_row = loads_preview[source]
+                target_row = loads_preview[target]
+                for idx, count in enumerate(class_counts[gid]):
+                    if count:
+                        source_row[idx] -= count
+                        target_row[idx] += count
+            est = self.estimator.estimate_preview(
+                comm.preview_moves(moves),
+                bound=bound,
+                cluster_class_counts=loads_preview,
+            )
+            if est is None:
+                return None
+            return (est.exec_time, -est.cut_slack, est.cut_edges)
 
         for _ in range(self.max_rounds):
             candidates = self._boundary_candidates(
-                level, groups, class_counts, loads, group_of
+                level, groups, class_counts, loads, group_pairs,
+                sorted_gids, gids_by_size,
             )
             best: Optional[Tuple[Tuple[int, int, int], _Candidate]] = None
             for cand in candidates:
-                recipe = apply_candidate(cand)
-                score = self._score(assignment)
-                undo(recipe)
+                # A winner must beat both the incumbent partition and the
+                # best candidate so far; their exec time is an exact prune
+                # bound (best[0] <= current once any candidate won).
+                bound = best[0][0] if best is not None else current[0]
+                if use_preview:
+                    score = preview_score(cand, bound)
+                else:
+                    # apply_candidate keeps the comm session in sync, so the
+                    # trial estimate can use it instead of a full re-sweep.
+                    recipe = apply_candidate(cand)
+                    score = self._score(
+                        assignment, bound=bound, loads=loads, comm=comm
+                    )
+                    undo(recipe)
+                if score is None:
+                    continue
                 if score < current and (best is None or score < best[0]):
                     best = (score, cand)
             if best is None:
@@ -292,17 +393,24 @@ class Refiner:
 
     def _apply_move(
         self, level, class_counts, gid, source, target,
-        groups, assignment, loads,
+        groups, assignment, loads, comm=None, group_records=None,
     ) -> None:
         groups[gid] = target
         for uid in level[gid]:
             assignment[uid] = target
-        for cls, count in class_counts[gid].items():
-            loads[source][cls] -= count
-            loads[target][cls] += count
+        source_loads = loads[source]
+        target_loads = loads[target]
+        for idx, count in enumerate(class_counts[gid]):
+            if count:
+                source_loads[idx] -= count
+                target_loads[idx] += count
+        if comm is not None:
+            records = group_records[gid] if group_records is not None else None
+            comm.move_uids(level[gid], target, records)
 
     # ------------------------------------------------------------------
     def refine(self, level: Level, groups: GroupAssignment) -> GroupAssignment:
         """Balance workload, then minimize cut impact, at this level."""
-        groups = self.balance_workload(level, groups)
-        return self.minimize_cut_impact(level, groups)
+        class_counts = self._class_counts(level)
+        groups = self.balance_workload(level, groups, class_counts)
+        return self.minimize_cut_impact(level, groups, class_counts)

@@ -25,8 +25,9 @@ from .merit import DEFAULT_THRESHOLD, MeritVector, compare, consumption
 from .mii import mii, rec_mii, res_mii
 from .mrt import BusSlot, FUSlot, Overlay, ReservationTable
 from .ordering import sms_order
+from .pressure import PressurePreview, PressureTracker
 from .result import AuxOp, ModuloSchedule, Placed, ScheduleStats
-from .values import BusTransfer, Use, ValueState, value_segments
+from .values import BusTransfer, Use, ValueState, segments_of_value, value_segments
 
 __all__ = [
     "AllClustersPolicy",
@@ -50,6 +51,8 @@ __all__ = [
     "ModuloSchedule",
     "Overlay",
     "Placed",
+    "PressurePreview",
+    "PressureTracker",
     "ReservationTable",
     "SCHEDULERS",
     "ScheduleOutcome",
@@ -70,6 +73,7 @@ __all__ = [
     "register_cycles",
     "render_kernel",
     "res_mii",
+    "segments_of_value",
     "sms_order",
     "value_segments",
 ]

@@ -24,7 +24,7 @@ for loops where modulo scheduling becomes inappropriate).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Union
 
 from ..ir.loop import Loop
@@ -208,13 +208,8 @@ class FixedPartitionScheduler(BaseScheduler):
 
     def _engine_options(self, loop: Loop) -> EngineOptions:
         assert self.partition is not None
-        base = self.options
-        return EngineOptions(
-            merit_threshold=base.merit_threshold,
-            allow_spill=base.allow_spill,
-            allow_memory_comm=base.allow_memory_comm,
-            max_spill_rounds=base.max_spill_rounds,
-            spill_victims_tried=base.spill_victims_tried,
+        return replace(
+            self.options,
             mem_ops_per_cluster=_mem_ops_per_cluster(loop, self.partition),
         )
 

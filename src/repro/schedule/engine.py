@@ -26,6 +26,33 @@ machinery coincide.
 Candidate evaluation never mutates committed state: resource claims are
 staged in an :class:`~repro.schedule.mrt.Overlay`, and value/lifetime edits
 are applied and rolled back around the register-pressure check.
+
+Hot-path architecture (reference vs. incremental accounting)
+------------------------------------------------------------
+
+Every sweep, figure and benchmark funnels through candidate evaluation, so
+the engine keeps two implementations of the register accounting:
+
+* The **reference** path — the pure functions ``value_segments`` /
+  ``register_cycles`` / ``max_live`` in :mod:`~repro.schedule.values` and
+  :mod:`~repro.schedule.lifetimes` — recomputes the full lifetime picture
+  from the value states.  It stays the validator's source of truth and is
+  what the independent schedule validation uses.
+* The **incremental** path — :class:`~repro.schedule.pressure.PressureTracker`
+  — mirrors the committed values with a per-cluster pressure ring
+  (``counts[cluster][m]`` over the II kernel cycles) and running
+  register-cycle totals.  A candidate evaluation applies only the *delta
+  segments* of the values its routes touch (plus the would-be new value),
+  reads the ring peaks and totals, and rolls the delta back exactly —
+  O(routes) instead of O(all values) per candidate.  Commits, spills
+  (which truncate the home lifetime) and dead-transfer releases update the
+  tracker the same way, so it always equals the reference recompute.
+
+``EngineOptions.verify_pressure`` is the escape hatch: when set, the
+engine cross-checks the tracker against the reference functions after
+every commit, spill and candidate rollback
+(:meth:`~repro.schedule.pressure.PressureTracker.verify`).  The
+equivalence tests run whole schedules in this mode.
 """
 
 from __future__ import annotations
@@ -38,10 +65,10 @@ from ..ir.ddg import DepKind
 from ..ir.loop import Loop
 from ..ir.opcodes import OpClass
 from ..machine.config import MachineConfig
-from .lifetimes import max_live, register_cycles
 from .merit import DEFAULT_THRESHOLD, MeritVector, compare, consumption
 from .mrt import FUSlot, Overlay, ReservationTable
 from .ordering import sms_order
+from .pressure import PressureTracker
 from .result import AuxOp, ModuloSchedule, Placed, ScheduleStats
 from .values import (
     LOAD_LATENCY,
@@ -49,7 +76,7 @@ from .values import (
     BusTransfer,
     Use,
     ValueState,
-    value_segments,
+    segments_of_value,
 )
 
 
@@ -65,16 +92,45 @@ class _Route:
 
 
 @dataclass
+class _NodePlan:
+    """Dependence routing work for one node, shared by all its candidates.
+
+    ``operands``: (producer uid, read-time offset from the issue cycle) for
+    every distinct placed producer read.  ``deliveries``: per placed data
+    successor ``(consumer uid, consumer cluster, absolute read time)``, or
+    ``(None, -1, offset)`` for a self-recurrence read (offset from the
+    issue cycle), preserving the DDG edge order.
+    """
+
+    operands: List[Tuple[int, int]]
+    deliveries: List[Tuple[Optional[int], int, int]]
+
+
+@dataclass
 class Candidate:
-    """A feasible placement of one operation, ready to commit."""
+    """A feasible placement of one operation, ready to commit.
+
+    The figure of merit is computed lazily: the fixed-partition policy (and
+    the GP policy's home-cluster hit) never compares candidates, so they
+    never pay for it.  ``merit`` reads committed engine state and is only
+    valid while the policy is still selecting — i.e. before the next
+    commit — which is the only time policies access it.
+    """
 
     uid: int
     cluster: int
     time: int
     overlay: Overlay
     routes: List[_Route]
-    merit: MeritVector
     creates_value: bool
+    merit_thunk: Callable[[], MeritVector]
+    _merit: Optional[MeritVector] = None
+
+    @property
+    def merit(self) -> MeritVector:
+        if self._merit is None:
+            self._merit = self.merit_thunk()
+        return self._merit
 
 
 class ClusterPolicy:
@@ -161,6 +217,10 @@ class EngineOptions:
     #: Original memory ops per cluster (per-cluster headroom, §3.3.4); when
     #: None, the single global headroom component of §3.3.2 is used.
     mem_ops_per_cluster: Optional[Dict[int, int]] = None
+    #: Cross-check the incremental pressure tracker against the reference
+    #: recompute after every commit, spill and candidate rollback (slow;
+    #: used by the equivalence tests).
+    verify_pressure: bool = False
 
 
 class SchedulingEngine:
@@ -189,7 +249,26 @@ class SchedulingEngine:
         self._aux_mem_per_cluster: Dict[int, int] = {}
         self._total_mem_ops = sum(1 for op in self.ddg.operations() if op.is_memory)
         self._failure_reasons: Dict[int, Set[str]] = {}
-        self._baseline_cycles: List[int] = [0] * machine.num_clusters
+        # Incremental register accounting (see the module docstring) plus
+        # per-cluster constants the hot path would otherwise re-derive.
+        self.pressure = PressureTracker(ii, machine.num_clusters)
+        self._registers = [
+            machine.cluster(c).registers for c in range(machine.num_clusters)
+        ]
+        self._reg_capacity = [r * ii for r in self._registers]
+        self._mem_total = [
+            self.table.fu_slots_total(c, OpClass.MEM)
+            for c in range(machine.num_clusters)
+        ]
+        self._bus_total = self.table.bus_cycles_total()
+        # Committed per-cluster peaks, recomputed only when the committed
+        # value set changes (commit/spill) instead of per candidate.
+        self._peaks_cache: Optional[List[int]] = None
+
+    def _committed_peaks(self) -> List[int]:
+        if self._peaks_cache is None:
+            self._peaks_cache = self.pressure.peaks()
+        return self._peaks_cache
 
     # ------------------------------------------------------------------
     # Top level
@@ -210,19 +289,23 @@ class SchedulingEngine:
         )
 
     def _schedule_node(self, uid: int) -> bool:
+        # The dependence window and the routed-dependence lists are functions
+        # of the committed placements only, which do not change while this
+        # node is being placed — derive them once instead of once per
+        # cluster per candidate cycle per spill round.
+        window = self._window(uid)
+        plan = self._node_plan(uid)
         for _round in range(self.options.max_spill_rounds + 1):
             self._failure_reasons = {}
-            # Register-cycle baseline, shared by every candidate this round.
-            self._baseline_cycles = register_cycles(
-                value_segments(self.values.values()), self.machine.num_clusters
-            )
             candidate = self.policy.select(
                 uid,
-                lambda cluster: self._evaluate(uid, cluster),
+                lambda cluster: self._evaluate(uid, cluster, window, plan),
                 self.options.merit_threshold,
             )
             if candidate is not None:
                 self._commit(candidate)
+                if self.options.verify_pressure:
+                    self.pressure.verify(self.values.values())
                 return True
             if not self.options.allow_spill:
                 return False
@@ -235,6 +318,8 @@ class SchedulingEngine:
                 return False
             if not any(self._try_spill(cluster) for cluster in register_bound):
                 return False
+            if self.options.verify_pressure:
+                self.pressure.verify(self.values.values())
         return False
 
     # ------------------------------------------------------------------
@@ -280,28 +365,75 @@ class SchedulingEngine:
     # ------------------------------------------------------------------
     # Candidate evaluation
     # ------------------------------------------------------------------
-    def _evaluate(self, uid: int, cluster: int) -> Optional[Candidate]:
+    def _node_plan(self, uid: int) -> "_NodePlan":
+        """Pre-resolved dependence routing work for one node.
+
+        Both lists depend only on the committed placements, so they are
+        shared by every candidate (cluster, cycle) of this node.
+        """
+        operands: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for dep in self.ddg.in_edges(uid):
+            if dep.kind is not DepKind.DATA or dep.src == uid:
+                continue
+            if dep.src not in self.placements:
+                continue
+            # Two deps with equal (src, distance) read the same copy at the
+            # same time for any issue cycle — the first one routes for both.
+            key = (dep.src, dep.distance)
+            if key in seen:
+                continue
+            seen.add(key)
+            operands.append((dep.src, self.ii * dep.distance))
+        deliveries: List[Tuple[Optional[int], int, int]] = []
+        for dep in self.ddg.out_edges(uid):
+            if dep.kind is not DepKind.DATA:
+                continue
+            if dep.dst == uid:
+                # Self-recurrence: read offset relative to the issue cycle.
+                deliveries.append((None, -1, self.ii * dep.distance))
+                continue
+            placed = self.placements.get(dep.dst)
+            if placed is None:
+                continue
+            deliveries.append(
+                (dep.dst, placed.cluster, placed.time + self.ii * dep.distance)
+            )
+        return _NodePlan(operands, deliveries)
+
+    def _evaluate(
+        self,
+        uid: int,
+        cluster: int,
+        window: Optional[Sequence[int]] = None,
+        plan: "Optional[_NodePlan]" = None,
+    ) -> Optional[Candidate]:
         reasons = self._failure_reasons.setdefault(cluster, set())
         op = self.ddg.operation(uid)
-        window = self._window(uid)
+        if window is None:
+            window = self._window(uid)
+        if plan is None:
+            plan = self._node_plan(uid)
         if not window:
             reasons.add("dep")
             return None
         for time in window:
-            candidate = self._evaluate_slot(uid, op, cluster, time, reasons)
+            candidate = self._evaluate_slot(uid, op, cluster, time, reasons, plan)
             if candidate is not None:
                 return candidate
         return None
 
     def _evaluate_slot(
-        self, uid: int, op, cluster: int, time: int, reasons: Set[str]
+        self, uid: int, op, cluster: int, time: int, reasons: Set[str],
+        plan: "_NodePlan",
     ) -> Optional[Candidate]:
-        overlay = Overlay(self.table)
-        own_slot = FUSlot(cluster, op.op_class, time)
-        if not self.table.fu_free(own_slot, overlay):
+        # The overlay is empty at this point, so check the table directly
+        # and only pay for an Overlay once the op's own slot fits.
+        if not self.table.fu_free_at(cluster, op.op_class, time):
             reasons.add("fu")
             return None
-        overlay.add_fu(own_slot)
+        overlay = Overlay(self.table)
+        overlay.add_fu(FUSlot(cluster, op.op_class, time))
 
         routes: List[_Route] = []
         creates_value = not op.is_store
@@ -309,19 +441,9 @@ class SchedulingEngine:
 
         # --- operand routing: values of already-scheduled producers ------
         planned_operand_copies: Dict[Tuple[int, int], int] = {}
-        seen_reads: Set[Tuple[int, int]] = set()
-        for dep in self.ddg.in_edges(uid):
-            if dep.kind is not DepKind.DATA or dep.src == uid:
-                continue
-            if dep.src not in self.placements:
-                continue
-            read_time = time + self.ii * dep.distance
-            key = (dep.src, read_time)
-            if key in seen_reads:
-                continue
-            seen_reads.add(key)
+        for src, offset in plan.operands:
             route = self._plan_operand_route(
-                self.values[dep.src], uid, cluster, read_time,
+                self.values[src], uid, cluster, time + offset,
                 overlay, reasons, planned_operand_copies,
             )
             if route is None:
@@ -332,22 +454,16 @@ class SchedulingEngine:
         if creates_value:
             planned_copies: Dict[int, int] = {cluster: birth}
             pending_store: Optional[AuxOp] = None
-            for dep in self.ddg.out_edges(uid):
-                if dep.kind is not DepKind.DATA:
-                    continue
-                if dep.dst == uid:
-                    read_time = time + self.ii * dep.distance
+            for dst, dst_cluster, when in plan.deliveries:
+                if dst is None:
+                    read_time = time + when
                     if read_time < birth:
                         reasons.add("dep")
                         return None
                     routes.append(_Route(None, Use(uid, cluster, read_time, "reg")))
                     continue
-                placed = self.placements.get(dep.dst)
-                if placed is None:
-                    continue
-                read_time = placed.time + self.ii * dep.distance
                 route, pending_store = self._plan_delivery_route(
-                    uid, birth, cluster, placed.cluster, dep.dst, read_time,
+                    uid, birth, cluster, dst_cluster, dst, when,
                     planned_copies, pending_store, overlay, reasons,
                 )
                 if route is None:
@@ -360,15 +476,15 @@ class SchedulingEngine:
             reasons.add("regs")
             return None
 
-        merit = self._merit(overlay, reg_delta, own_is_memory=op.is_memory)
+        own_is_memory = op.is_memory
         return Candidate(
             uid=uid,
             cluster=cluster,
             time=time,
             overlay=overlay,
             routes=routes,
-            merit=merit,
             creates_value=creates_value,
+            merit_thunk=lambda: self._merit(overlay, reg_delta, own_is_memory),
         )
 
     # ------------------------------------------------------------------
@@ -574,8 +690,9 @@ class SchedulingEngine:
             if prefer == "early"
             else range(latest, earliest - 1, -1)
         )
+        fu_free_at = self.table.fu_free_at
         for cycle in cycles:
-            if self.table.fu_free(FUSlot(cluster, OpClass.MEM, cycle), overlay):
+            if fu_free_at(cluster, OpClass.MEM, cycle, overlay):
                 return cycle
         return None
 
@@ -590,15 +707,28 @@ class SchedulingEngine:
         creates_value: bool,
         routes: List[_Route],
     ) -> Tuple[List[int], bool]:
-        """(register-cycle delta per cluster, fits) after a tentative apply."""
-        before = self._baseline_cycles
+        """(register-cycle delta per cluster, fits) after a tentative apply.
+
+        Incremental: only the values the routes touch (plus the would-be new
+        value) have their segments re-derived; the delta segments are
+        previewed against the pressure tracker's rings without mutating
+        them — O(routes), not O(all values) — so only the value-state edits
+        need rolling back.
+        """
+        tracker = self.pressure
         applied: List[Tuple[ValueState, str, object]] = []
+        touched: List[int] = []
         new_value: Optional[ValueState] = None
         if creates_value:
             new_value = ValueState(producer=uid, home=cluster, birth=birth)
         try:
             for route in routes:
-                target = new_value if route.value_key is None else self.values[route.value_key]
+                if route.value_key is None:
+                    target = new_value
+                else:
+                    target = self.values[route.value_key]
+                    if route.value_key not in touched:
+                        touched.append(route.value_key)
                 target.uses.append(route.use)
                 applied.append((target, "use", route.use))
                 if route.new_transfer is not None:
@@ -607,18 +737,15 @@ class SchedulingEngine:
                 if route.new_store is not None:
                     applied.append((target, "store", target.store_time))
                     target.store_time = route.new_store.time
-            all_values = list(self.values.values())
+            changes: List[Tuple[Sequence[object], int]] = []
+            for key in touched:
+                changes.append((tracker.segments_of(key), -1))
+                changes.append((segments_of_value(self.values[key]), +1))
             if new_value is not None:
-                all_values.append(new_value)
-            segments = value_segments(all_values)
-            after = register_cycles(segments, self.machine.num_clusters)
-            peaks = max_live(segments, self.ii, self.machine.num_clusters)
-            fits = all(
-                peaks[c] <= self.machine.cluster(c).registers
-                for c in range(self.machine.num_clusters)
+                changes.append((segments_of_value(new_value), +1))
+            return tracker.preview_effect(
+                changes, self._registers, self._committed_peaks()
             )
-            delta = [after[c] - before[c] for c in range(self.machine.num_clusters)]
-            return delta, fits
         finally:
             for target, kind, payload in reversed(applied):
                 if kind == "use":
@@ -627,6 +754,8 @@ class SchedulingEngine:
                     target.transfers.remove(payload)
                 else:
                     target.store_time = payload  # type: ignore[assignment]
+            if self.options.verify_pressure:
+                tracker.verify(self.values.values())
 
     # ------------------------------------------------------------------
     # Figure of merit
@@ -634,25 +763,40 @@ class SchedulingEngine:
     def _merit(
         self, overlay: Overlay, reg_delta: List[int], own_is_memory: bool
     ) -> MeritVector:
+        # consumption() is inlined below: this runs once per compared
+        # candidate and the call overhead is measurable.
         components: List[float] = []
+        num_clusters = self.machine.num_clusters
         # Inter-cluster communication slots.
         bus_new = sum(slot.length for slot in overlay.bus_slots)
-        bus_free = self.table.bus_cycles_total() - self.table.bus_cycles_used()
-        components.append(consumption(bus_new, bus_free))
+        bus_free = self._bus_total - self.table.bus_cycles_used()
+        components.append(
+            0.0 if bus_new <= 0
+            else (1.0 if bus_free <= 0 else min(1.0, bus_new / bus_free))
+        )
         # Per-cluster memory slots (every memory-port use counts).
-        mem_new = [0] * self.machine.num_clusters
+        mem_new = [0] * num_clusters
         for slot in overlay.fu_slots:
             if slot.op_class is OpClass.MEM:
                 mem_new[slot.cluster] += 1
-        for c in range(self.machine.num_clusters):
-            total = self.table.fu_slots_total(c, OpClass.MEM)
-            used = self.table.fu_slots_used(c, OpClass.MEM)
-            components.append(consumption(mem_new[c], total - used))
-        # Per-cluster register lifetimes.
-        before = self._baseline_cycles
-        for c in range(self.machine.num_clusters):
-            capacity = self.machine.cluster(c).registers * self.ii
-            components.append(consumption(max(0, reg_delta[c]), capacity - before[c]))
+        fu_slots_used = self.table.fu_slots_used
+        for c in range(num_clusters):
+            new = mem_new[c]
+            if new <= 0:
+                components.append(0.0)
+                continue
+            free = self._mem_total[c] - fu_slots_used(c, OpClass.MEM)
+            components.append(1.0 if free <= 0 else min(1.0, new / free))
+        # Per-cluster register lifetimes (baseline = the tracker's running
+        # committed totals; no per-round recompute).
+        before = self.pressure.reg_cycles
+        for c in range(num_clusters):
+            delta = reg_delta[c]
+            if delta <= 0:
+                components.append(0.0)
+                continue
+            free = self._reg_capacity[c] - before[c]
+            components.append(1.0 if free <= 0 else min(1.0, delta / free))
         # Headroom for *inserted* memory operations: the op's own slot (when
         # the op is itself a memory op) is original code, not inserted code.
         aux_new = list(mem_new)
@@ -667,17 +811,11 @@ class SchedulingEngine:
         if per_cluster is not None:
             out = []
             for c in range(self.machine.num_clusters):
-                headroom_total = (
-                    self.table.fu_slots_total(c, OpClass.MEM) - per_cluster.get(c, 0)
-                )
+                headroom_total = self._mem_total[c] - per_cluster.get(c, 0)
                 headroom_used = self._aux_mem_per_cluster.get(c, 0)
                 out.append(consumption(aux_new[c], headroom_total - headroom_used))
             return out
-        total = sum(
-            self.table.fu_slots_total(c, OpClass.MEM)
-            for c in range(self.machine.num_clusters)
-        )
-        headroom_total = total - self._total_mem_ops
+        headroom_total = sum(self._mem_total) - self._total_mem_ops
         headroom_used = sum(self._aux_mem_per_cluster.values())
         return [consumption(sum(aux_new), headroom_total - headroom_used)]
 
@@ -696,8 +834,13 @@ class SchedulingEngine:
                 birth=candidate.time + op.latency,
             )
             self.values[candidate.uid] = new_value
+        touched: Set[int] = set()
         for route in candidate.routes:
-            target = new_value if route.value_key is None else self.values[route.value_key]
+            if route.value_key is None:
+                target = new_value
+            else:
+                target = self.values[route.value_key]
+                touched.add(route.value_key)
             target.uses.append(route.use)
             if route.new_transfer is not None:
                 target.transfers.append(route.new_transfer)
@@ -711,6 +854,11 @@ class SchedulingEngine:
             if route.new_store is not None:
                 target.store_time = route.new_store.time
                 self.stats.mem_comms += 1
+        for key in touched:
+            self.pressure.update(self.values[key])
+        if new_value is not None:
+            self.pressure.track(new_value)
+        self._peaks_cache = None
 
     # ------------------------------------------------------------------
     # Spill transformation (§3.3.2)
@@ -732,9 +880,10 @@ class SchedulingEngine:
         return False
 
     def _lifetime_in_cluster(self, value: ValueState, cluster: int) -> int:
+        # Committed values always have their segments cached in the tracker.
         return sum(
             segment.length
-            for segment in value_segments([value])
+            for segment in self.pressure.segments_of(value.producer)
             if segment.cluster == cluster
         )
 
@@ -799,4 +948,6 @@ class SchedulingEngine:
                 self.table.release_bus(transfer.slot)
                 value.remove_transfer(transfer)
                 self.stats.bus_transfers -= 1
+        self.pressure.update(value)
+        self._peaks_cache = None
         return True

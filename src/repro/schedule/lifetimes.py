@@ -40,6 +40,27 @@ class LiveSegment:
         return max(self.death - self.birth, 1)
 
 
+def add_segment_to_ring(
+    row: List[int], birth: int, length: int, ii: int, sign: int = 1
+) -> None:
+    """Add (``sign=+1``) or remove (``sign=-1``) one segment's live counts
+    from a kernel-cycle ring ``row`` of length ``ii``.
+
+    This is the single definition of the per-cycle accounting arithmetic;
+    both the reference recompute (:func:`pressure_by_cycle`) and the
+    incremental tracker (:mod:`repro.schedule.pressure`) go through it, so
+    they cannot drift apart.
+    """
+    whole, rem = divmod(length, ii)
+    if whole:
+        add = sign * whole
+        for m in range(ii):
+            row[m] += add
+    start = birth % ii
+    for offset in range(rem):
+        row[(start + offset) % ii] += sign
+
+
 def pressure_by_cycle(
     segments: Iterable[LiveSegment], ii: int, num_clusters: int
 ) -> List[List[int]]:
@@ -49,15 +70,7 @@ def pressure_by_cycle(
     """
     counts = [[0] * ii for _ in range(num_clusters)]
     for seg in segments:
-        length = seg.length
-        whole, rem = divmod(length, ii)
-        row = counts[seg.cluster]
-        if whole:
-            for m in range(ii):
-                row[m] += whole
-        start = seg.birth % ii
-        for offset in range(rem):
-            row[(start + offset) % ii] += 1
+        add_segment_to_ring(counts[seg.cluster], seg.birth, seg.length, ii)
     return counts
 
 

@@ -49,32 +49,71 @@ class ReservationTable:
             raise ValueError("initiation interval must be >= 1")
         self.machine = machine
         self.ii = ii
-        # (cluster, op_class, kernel cycle) -> used issue slots
-        self._fu_used: Dict[Tuple[int, OpClass, int], int] = {}
         # (bus, kernel cycle) -> busy
         self._bus_used: Dict[Tuple[int, int], bool] = {}
+        # Running utilization counters, maintained by reserve/release so the
+        # per-candidate figure of merit never scans the used-slot state.
+        self._fu_class_used: Dict[Tuple[int, OpClass], int] = {}
+        self._bus_cycles_in_use = 0
+        # Capacities are immutable per machine; resolve them once.
+        self._capacity: Dict[Tuple[int, OpClass], int] = {
+            (cluster, op_class): machine.cluster(cluster).units_for_class(op_class)
+            for cluster in range(machine.num_clusters)
+            for op_class in OpClass
+        }
+        # (cluster, op_class) -> [capacity, used@cycle0, ..., used@cycleII-1].
+        # One dict hit resolves both the capacity and the per-cycle count in
+        # the free-slot check, the engine's innermost resource test.
+        self._fu_state: Dict[Tuple[int, OpClass], List[int]] = {
+            key: [cap] + [0] * ii for key, cap in self._capacity.items()
+        }
 
     # -- functional units ------------------------------------------------
     def fu_capacity(self, cluster: int, op_class: OpClass) -> int:
-        return self.machine.cluster(cluster).units_for_class(op_class)
+        try:
+            return self._capacity[(cluster, op_class)]
+        except KeyError:
+            # Out-of-range cluster: surface the machine's ConfigError.
+            return self.machine.cluster(cluster).units_for_class(op_class)
 
     def fu_free(self, slot: FUSlot, overlay: "Optional[Overlay]" = None) -> bool:
         """True if one more op of the class can issue at the slot's cycle."""
-        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
-        used = self._fu_used.get(key, 0)
+        return self.fu_free_at(slot.cluster, slot.op_class, slot.cycle, overlay)
+
+    def fu_free_at(
+        self,
+        cluster: int,
+        op_class: OpClass,
+        cycle: int,
+        overlay: "Optional[Overlay]" = None,
+    ) -> bool:
+        """:meth:`fu_free` without requiring a FUSlot — the engine's slot
+        scans call this once per candidate cycle."""
+        m = cycle % self.ii
+        try:
+            state = self._fu_state[(cluster, op_class)]
+        except KeyError:
+            # Out-of-range cluster: surface the machine's ConfigError.
+            self.machine.cluster(cluster)
+            raise
+        used = state[1 + m]
         if overlay is not None:
-            used += overlay.fu_pending(key)
-        return used < self.fu_capacity(slot.cluster, slot.op_class)
+            used += overlay.fu_pending((cluster, op_class, m))
+        return used < state[0]
 
     def reserve_fu(self, slot: FUSlot) -> None:
-        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
-        self._fu_used[key] = self._fu_used.get(key, 0) + 1
+        ckey = (slot.cluster, slot.op_class)
+        self._fu_state[ckey][1 + slot.cycle % self.ii] += 1
+        self._fu_class_used[ckey] = self._fu_class_used.get(ckey, 0) + 1
 
     def release_fu(self, slot: FUSlot) -> None:
-        key = (slot.cluster, slot.op_class, slot.cycle % self.ii)
-        self._fu_used[key] = self._fu_used.get(key, 0) - 1
-        if self._fu_used[key] <= 0:
-            del self._fu_used[key]
+        ckey = (slot.cluster, slot.op_class)
+        self._fu_state[ckey][1 + slot.cycle % self.ii] -= 1
+        remaining = self._fu_class_used.get(ckey, 0) - 1
+        if remaining > 0:
+            self._fu_class_used[ckey] = remaining
+        else:
+            self._fu_class_used.pop(ckey, None)
 
     # -- buses -------------------------------------------------------------
     def bus_cycles(self, slot: BusSlot) -> Optional[List[int]]:
@@ -115,6 +154,21 @@ class ReservationTable:
         if latest_start < earliest:
             return None
         limit = min(latest_start, earliest + self.ii - 1)
+        if length == 1:
+            # Single-cycle transfers (latency-1 bus): skip the generic
+            # occupancy-list machinery in the scan, the engine's hottest
+            # bus query.
+            bus_used = self._bus_used
+            for start in range(earliest, limit + 1):
+                cycle = start % self.ii
+                for bus in range(self.machine.num_buses):
+                    key = (bus, cycle)
+                    if bus_used.get(key, False):
+                        continue
+                    if overlay is not None and overlay.bus_pending(key):
+                        continue
+                    return BusSlot(bus=bus, start=start, length=1)
+            return None
         for start in range(earliest, limit + 1):
             for bus in range(self.machine.num_buses):
                 slot = BusSlot(bus=bus, start=start, length=length)
@@ -127,25 +181,25 @@ class ReservationTable:
         if cycles is None:
             raise ValueError("cannot reserve a self-overlapping bus transfer")
         for cycle in cycles:
-            self._bus_used[(slot.bus, cycle)] = True
+            key = (slot.bus, cycle)
+            if not self._bus_used.get(key, False):
+                self._bus_cycles_in_use += 1
+            self._bus_used[key] = True
 
     def release_bus(self, slot: BusSlot) -> None:
         for cycle in self.bus_cycles(slot) or []:
-            self._bus_used.pop((slot.bus, cycle), None)
+            if self._bus_used.pop((slot.bus, cycle), False):
+                self._bus_cycles_in_use -= 1
 
     # -- utilization (for the figure of merit) ----------------------------
     def fu_slots_used(self, cluster: int, op_class: OpClass) -> int:
-        return sum(
-            used
-            for (cl, cls, _cycle), used in self._fu_used.items()
-            if cl == cluster and cls is op_class
-        )
+        return self._fu_class_used.get((cluster, op_class), 0)
 
     def fu_slots_total(self, cluster: int, op_class: OpClass) -> int:
         return self.fu_capacity(cluster, op_class) * self.ii
 
     def bus_cycles_used(self) -> int:
-        return sum(1 for busy in self._bus_used.values() if busy)
+        return self._bus_cycles_in_use
 
     def bus_cycles_total(self) -> int:
         return self.machine.num_buses * self.ii
@@ -177,7 +231,13 @@ class Overlay:
         self.fu_slots.append(slot)
 
     def add_bus(self, slot: BusSlot) -> None:
-        for cycle in self.table.bus_cycles(slot) or []:
+        cycles = self.table.bus_cycles(slot)
+        if cycles is None:
+            # A self-overlapping transfer can never be reserved; staging it
+            # anyway would make a later commit() blow up mid-way, after some
+            # reservations already landed in the table.
+            raise ValueError("cannot stage a self-overlapping bus transfer")
+        for cycle in cycles:
             self._bus[(slot.bus, cycle)] = True
         self.bus_slots.append(slot)
 

@@ -23,10 +23,16 @@ The algorithm has two phases:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+import weakref
+from typing import Dict, List, Sequence, Set
 
 from ..ir.analysis import LoopAnalysis, analyze, rec_mii, strongly_connected_components
 from ..ir.ddg import DataDependenceGraph
+
+#: (graph, clamped II) -> shared SMS order; weak keys let graphs die freely.
+_ORDER_CACHE: "weakref.WeakKeyDictionary[DataDependenceGraph, Dict[int, List[int]]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _scc_rec_mii(ddg: DataDependenceGraph, component: Sequence[int]) -> int:
@@ -121,16 +127,25 @@ def sms_order(ddg: DataDependenceGraph, ii: int = 0) -> List[int]:
         ddg: Loop body graph.
         ii: Initiation interval for the height/depth analysis; defaults to
             (and is clamped below by) the graph's RecMII.
+
+    Memoized per (graph, clamped II): every scheduling attempt of every
+    algorithm re-derives the same order.  The returned list is shared —
+    callers must not mutate it.
     """
     if ddg.num_operations == 0:
         return []
     floor_ii = rec_mii(ddg)
-    analysis = analyze(ddg, max(ii, floor_ii))
+    effective_ii = max(ii, floor_ii)
+    per_ii = _ORDER_CACHE.get(ddg)
+    if per_ii is not None and effective_ii in per_ii:
+        return per_ii[effective_ii]
+    analysis = analyze(ddg, effective_ii)
 
     ordered: List[int] = []
     placed: Set[int] = set()
     for node_set in _node_sets(ddg):
         _order_set(ddg, analysis, node_set, ordered, placed)
+    _ORDER_CACHE.setdefault(ddg, {})[effective_ii] = ordered
     return ordered
 
 

@@ -111,8 +111,8 @@ class ValueState:
         self.transfers.remove(transfer)
 
 
-def value_segments(values: Iterable[ValueState]) -> List[LiveSegment]:
-    """Register-occupancy segments implied by the value states.
+def segments_of_value(val: ValueState) -> List[LiveSegment]:
+    """Register-occupancy segments implied by one value's state.
 
     * Home segment: ``[birth, death)`` where death covers every home
       register read, every outgoing transfer's completion, and the spill
@@ -121,32 +121,48 @@ def value_segments(values: Iterable[ValueState]) -> List[LiveSegment]:
       in that cluster.
     * One short segment per memory-routed use: from the load's completion to
       the read.
+
+    This per-value decomposition is what lets the incremental tracker
+    (:mod:`repro.schedule.pressure`) maintain pressure by *delta*: a
+    candidate or spill mutates a handful of values, so only their segments
+    need re-deriving.
+    """
+    segments: List[LiveSegment] = []
+    home_death = val.birth + 1
+    if val.store_time is not None:
+        home_death = max(home_death, val.store_time + 1)
+    for transfer in val.transfers:
+        home_death = max(home_death, transfer.delivered_at)
+    for use in val.reg_uses_in(val.home):
+        home_death = max(home_death, use.read_time)
+    segments.append(LiveSegment(val.home, val.birth, home_death))
+
+    remote_clusters = {t.dst_cluster for t in val.transfers}
+    for cluster in sorted(remote_clusters):
+        delivered = val.copy_available(cluster)
+        if delivered is None:
+            continue
+        death = delivered + 1
+        for use in val.reg_uses_in(cluster):
+            death = max(death, use.read_time)
+        segments.append(LiveSegment(cluster, delivered, death))
+
+    for use in val.uses:
+        if use.route == "mem" and use.load_time is not None:
+            ready = use.load_time + LOAD_LATENCY
+            segments.append(
+                LiveSegment(use.cluster, ready, max(use.read_time, ready + 1))
+            )
+    return segments
+
+
+def value_segments(values: Iterable[ValueState]) -> List[LiveSegment]:
+    """Register-occupancy segments implied by the value states.
+
+    The reference (full-recompute) accounting: concatenates
+    :func:`segments_of_value` over every value.
     """
     segments: List[LiveSegment] = []
     for val in values:
-        home_death = val.birth + 1
-        if val.store_time is not None:
-            home_death = max(home_death, val.store_time + 1)
-        for transfer in val.transfers:
-            home_death = max(home_death, transfer.delivered_at)
-        for use in val.reg_uses_in(val.home):
-            home_death = max(home_death, use.read_time)
-        segments.append(LiveSegment(val.home, val.birth, home_death))
-
-        remote_clusters = {t.dst_cluster for t in val.transfers}
-        for cluster in sorted(remote_clusters):
-            delivered = val.copy_available(cluster)
-            if delivered is None:
-                continue
-            death = delivered + 1
-            for use in val.reg_uses_in(cluster):
-                death = max(death, use.read_time)
-            segments.append(LiveSegment(cluster, delivered, death))
-
-        for use in val.uses:
-            if use.route == "mem" and use.load_time is not None:
-                ready = use.load_time + LOAD_LATENCY
-                segments.append(
-                    LiveSegment(use.cluster, ready, max(use.read_time, ready + 1))
-                )
+        segments.extend(segments_of_value(val))
     return segments

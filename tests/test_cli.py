@@ -83,6 +83,15 @@ class TestCommands:
         assert lines[0].startswith("benchmark,")
         assert lines[-1].startswith("AVERAGE,")
 
+    def test_bench_prints_per_scheduler_seconds(self, capsys):
+        code = main(["bench", "--machine", "2x32", "--programs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "schedule CPU seconds per benchmark" in out
+        for name in ("uracam", "fixed-partition", "gp"):
+            assert name in out
+
     def test_workloads_listing(self, capsys):
         assert main(["workloads", "--program", "swim"]) == 0
         out = capsys.readouterr().out

@@ -136,6 +136,53 @@ class TestOverlay:
         del overlay
         assert table.fu_slots_used(0, OpClass.INT) == 0
 
+    def test_add_bus_rejects_self_overlapping_slot(self):
+        # Regression: a self-overlapping transfer used to be silently
+        # swallowed (nothing staged) yet still appended to bus_slots, so a
+        # later commit() raised ValueError *mid-commit* after some
+        # reservations had already landed in the table.
+        machine = two_cluster(64, bus_latency=2)
+        table = ReservationTable(machine, ii=1)
+        overlay = Overlay(table)
+        bad = BusSlot(bus=0, start=0, length=2)  # 2 cycles at II=1: overlaps
+        with pytest.raises(ValueError):
+            overlay.add_bus(bad)
+        assert bad not in overlay.bus_slots
+        overlay.commit()  # nothing staged: must not raise
+
     def test_invalid_ii_rejected(self):
         with pytest.raises(ValueError):
             ReservationTable(two_cluster(64), ii=0)
+
+
+class TestRunningCounters:
+    """The figure-of-merit counters are maintained, not recomputed."""
+
+    def test_fu_counters_track_reserve_release(self, table):
+        slots = [FUSlot(0, OpClass.MEM, c) for c in (0, 1, 1, 3)]
+        for slot in slots:
+            table.reserve_fu(slot)
+        assert table.fu_slots_used(0, OpClass.MEM) == 4
+        for slot in slots[:2]:
+            table.release_fu(slot)
+        assert table.fu_slots_used(0, OpClass.MEM) == 2
+        for slot in slots[2:]:
+            table.release_fu(slot)
+        assert table.fu_slots_used(0, OpClass.MEM) == 0
+
+    def test_bus_counter_tracks_reserve_release(self):
+        machine = two_cluster(64, bus_latency=2)
+        table = ReservationTable(machine, ii=6)
+        slot = BusSlot(0, 1, 2)
+        table.reserve_bus(slot)
+        assert table.bus_cycles_used() == 2
+        table.release_bus(slot)
+        assert table.bus_cycles_used() == 0
+
+    def test_fu_free_at_matches_fu_free(self, table):
+        slot = FUSlot(1, OpClass.FP, 2)
+        table.reserve_fu(slot)
+        table.reserve_fu(slot)
+        assert table.fu_free_at(1, OpClass.FP, 2) == table.fu_free(slot)
+        assert not table.fu_free_at(1, OpClass.FP, 6)  # same kernel cycle
+        assert table.fu_free_at(1, OpClass.FP, 3)

@@ -40,6 +40,26 @@ class TestSweepResult:
         result.series["b"] = [2.0, 2.5]
         assert result.crossover("a", "b") is None
 
+    def test_crossover_trail_then_overtake(self):
+        result = SweepResult("x", [10, 20, 30])
+        result.series["a"] = [1.0, 2.0, 4.0]
+        result.series["b"] = [3.0, 2.0, 3.0]
+        assert result.crossover("a", "b") == 30
+
+    def test_crossover_always_leads_is_none(self):
+        # a never trails, so there is nothing to overtake from.
+        result = SweepResult("x", [1, 2, 3])
+        result.series["a"] = [5.0, 6.0, 7.0]
+        result.series["b"] = [1.0, 2.0, 3.0]
+        assert result.crossover("a", "b") is None
+
+    def test_crossover_never_overtakes_is_none(self):
+        # a trails throughout (ties do not count as leading).
+        result = SweepResult("x", [1, 2, 3])
+        result.series["a"] = [1.0, 2.0, 3.0]
+        result.series["b"] = [2.0, 2.0, 3.5]
+        assert result.crossover("a", "b") is None
+
     def test_gap_percent(self):
         result = SweepResult("x", [1])
         result.series["a"] = [2.46]

@@ -10,21 +10,19 @@ experiments are deterministic, so a single round is measured
 
 from __future__ import annotations
 
+import os
 import pathlib
+import time
 
 import pytest
 
-from repro.workloads.spec import spec_suite
+from repro.workloads.spec import extended_suite, spec_suite
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "bench: perf-trajectory benchmarks that emit BENCH_schedule.json; "
-        "opt-in via `-m bench` and never gating",
-    )
+# The ``bench`` marker itself is registered in pyproject.toml
+# ([tool.pytest.ini_options]), so plain ``pytest`` runs emit no
+# unknown-marker warnings and CI can filter with ``-m "not bench"``.
 
 
 def pytest_collection_modifyitems(config, items):
@@ -45,6 +43,47 @@ def pytest_collection_modifyitems(config, items):
 def suite():
     """The full ten-program suite (shared across all benchmarks)."""
     return spec_suite()
+
+
+@pytest.fixture(scope="session")
+def big_suite():
+    """The extended production-scale tier (220 loops, bodies to ~280 ops)."""
+    return extended_suite()
+
+
+#: Worker count for the parallel-runner timing (capped: the point is the
+#: trend against jobs=1, not saturating a large host).
+PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="session")
+def extended_parallel_timings(big_suite):
+    """Whole-extended-suite wall clock, sequential vs. pooled.
+
+    Timed once per session and shared by the BENCH_schedule.json payload
+    and the text artifact, so one ``-m bench`` run schedules the 220
+    loops twice (not four times) and both records agree by construction.
+    """
+    from repro.eval.runner import run_suite
+    from repro.machine.presets import four_cluster
+    from repro.schedule.drivers import GPScheduler
+
+    machine = four_cluster(64)
+    wall_seconds = {}
+    average_ipcs = {}
+    for jobs in (1, PARALLEL_JOBS):
+        started = time.perf_counter()
+        result = run_suite(big_suite, GPScheduler(machine), jobs=jobs)
+        wall_seconds[jobs] = time.perf_counter() - started
+        average_ipcs[jobs] = result.average_ipc
+    assert average_ipcs[1] == average_ipcs[PARALLEL_JOBS]
+    return {
+        "machine": machine.name,
+        "scheduler": "gp",
+        "jobs": PARALLEL_JOBS,
+        "wall_seconds": wall_seconds,
+        "average_ipc": average_ipcs[1],
+    }
 
 
 @pytest.fixture(scope="session")

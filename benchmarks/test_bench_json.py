@@ -6,19 +6,29 @@ timings of the Table 2 configurations and the micro components in a
 before/after-comparable schema, so future PRs can diff their scheduling
 CPU time against the committed baseline.
 
-Schema (``repro-bench/v1``)::
+Schema (``repro-bench/v2``)::
 
     {
-      "schema": "repro-bench/v1",
+      "schema": "repro-bench/v2",
       "table2": {"<config>": {"<scheduler>": seconds_per_benchmark}},
       "micro":  {"<component>": best_seconds},
+      "parallel": {"suite": "extended", "loops": N, "scheduler": "gp",
+                   "machine": "<config>", "jobs": J, "cpu_count": C,
+                   "wall_seconds": {"jobs1": s, "jobsJ": s}},
       "meta":   {"rounds": N, "suite_benchmarks": M}
     }
+
+The ``parallel`` section times the whole extended suite (220 loops,
+bodies to ~280 ops) through the batch runner, sequentially and with a
+worker pool.  ``cpu_count`` is recorded because the jobsJ number only
+drops below jobs1 when the host actually has spare cores — on a
+single-CPU container it measures pool overhead instead.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
@@ -65,7 +75,7 @@ def _best_of_cold(fn, rounds=_MICRO_ROUNDS, prep=None):
 
 
 @pytest.mark.bench
-def test_emit_bench_schedule_json(suite):
+def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
     machines = [
         two_cluster(32),
         two_cluster(64),
@@ -99,12 +109,25 @@ def test_emit_bench_schedule_json(suite):
         ),
     }
 
+    timings = extended_parallel_timings
     payload = {
-        "schema": "repro-bench/v1",
+        "schema": "repro-bench/v2",
         "table2": {
             config: dict(result.seconds[config]) for config in result.configs
         },
         "micro": micro,
+        "parallel": {
+            "suite": "extended",
+            "loops": sum(len(b.loops) for b in big_suite),
+            "scheduler": timings["scheduler"],
+            "machine": timings["machine"],
+            "jobs": timings["jobs"],
+            "cpu_count": os.cpu_count(),
+            "wall_seconds": {
+                f"jobs{jobs}": seconds
+                for jobs, seconds in timings["wall_seconds"].items()
+            },
+        },
         "meta": {
             "rounds": _MICRO_ROUNDS,
             "suite_benchmarks": len(suite),

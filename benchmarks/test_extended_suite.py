@@ -1,0 +1,64 @@
+"""Extended-suite (production-scale tier) benchmarks.
+
+The paper's evaluation stops at 10 programs / 40 loops; the extended tier
+scales that to 220 loops with bodies beyond 200 operations, mixed
+recurrence depths and memory-traffic profiles.  These benchmarks run the
+figure-2-style comparison on that tier through the parallel batch runner
+and record the whole-suite wall clock at several ``--jobs`` values, so
+the perf trajectory captures suite throughput, not just per-loop cost.
+
+Opt-in via ``-m bench`` like the rest of the harness.
+"""
+
+import os
+
+import pytest
+from conftest import PARALLEL_JOBS, save_artifact
+
+from repro.eval.figures import figure2_panel
+
+
+@pytest.mark.bench
+def test_extended_four_cluster_panel(benchmark, big_suite, results_dir):
+    """IPC comparison on the extended tier (4-cluster, 64 registers)."""
+    panel = benchmark.pedantic(
+        figure2_panel,
+        args=(4, 64, big_suite),
+        kwargs={"jobs": PARALLEL_JOBS},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = panel.render() + "\n\nGP over URACAM: %+.1f%%  GP over Fixed: %+.1f%%" % (
+        panel.gain_percent("gp", "uracam"),
+        panel.gain_percent("gp", "fixed-partition"),
+    )
+    save_artifact(results_dir, "extended_4cluster_64r.txt", rendered)
+
+    # The paper's qualitative ordering must survive the scale-up.
+    for label in ("uracam", "fixed-partition", "gp"):
+        assert panel.average(label) <= panel.average("unified") * 1.02
+    assert panel.average("gp") > panel.average("uracam")
+
+
+@pytest.mark.bench
+def test_extended_parallel_wall_clock(
+    big_suite, results_dir, extended_parallel_timings
+):
+    """Whole-suite wall clock, sequential vs. pooled, with identical results.
+
+    The timing itself lives in the session-scoped fixture (shared with
+    the BENCH_schedule.json payload); this test renders it as a text
+    artifact.
+    """
+    timings = extended_parallel_timings
+    loops = sum(len(b.loops) for b in big_suite)
+    lines = [
+        f"Extended suite wall clock: {timings['scheduler']}, "
+        f"{timings['machine']}, {loops} loops "
+        f"(host cpu_count={os.cpu_count()})",
+        *(
+            f"  jobs={jobs}: {seconds:.2f}s wall"
+            for jobs, seconds in sorted(timings["wall_seconds"].items())
+        ),
+    ]
+    save_artifact(results_dir, "extended_parallel_wall_clock.txt", "\n".join(lines))

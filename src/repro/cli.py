@@ -7,15 +7,23 @@ Commands:
 * ``evaluate`` — run a figure panel of the paper's evaluation on the
   synthetic suite and print the table (optionally CSV/JSON).
 * ``bench`` — run the Table 2 timing on a chosen machine preset and print
-  the scheduling CPU seconds per scheduler (a perf check without pytest).
+  the scheduling CPU seconds per scheduler (a perf check without pytest);
+  ``--json`` writes the timings to a file for CI artifacts.
 * ``workloads`` — describe the synthetic suite's loop shapes.
 * ``machines`` — list the built-in machine configurations.
+
+``evaluate`` and ``bench`` take ``--suite paper|extended`` to pick the
+workload tier (the paper's 40 loops vs. the 220-loop production-scale
+tier) and ``--jobs N`` to fan per-loop scheduling out over N worker
+processes (``0`` = one per CPU; results are bit-identical to ``--jobs
+1``).
 
 Examples::
 
     python -m repro schedule --kernel daxpy --machine 2x32 --algorithm gp
     python -m repro evaluate --clusters 4 --registers 32 --programs 3
-    python -m repro bench --machine 4x64 --programs 3
+    python -m repro evaluate --suite extended --jobs 0
+    python -m repro bench --machine 4x64 --programs 3 --json bench.json
     python -m repro workloads --program swim
     python -m repro machines
 """
@@ -35,7 +43,13 @@ from .machine.presets import clustered, table1_configurations, unified
 from .schedule.drivers import SCHEDULERS
 from .schedule.expand import render_kernel
 from .workloads.kernels import KERNELS
-from .workloads.spec import PROGRAM_NAMES, make_benchmark, spec_suite
+from .workloads.spec import (
+    PROGRAM_NAMES,
+    SUITE_TIERS,
+    make_benchmark,
+    make_extended_benchmark,
+    suite_for_tier,
+)
 
 
 def parse_machine(spec: str) -> MachineConfig:
@@ -99,15 +113,22 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pick_suite(args: argparse.Namespace):
+    suite = suite_for_tier(getattr(args, "suite", "paper"))
+    return suite[: args.programs] if args.programs else suite
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
 
-    suite = spec_suite()[: args.programs] if args.programs else spec_suite()
+    suite = _pick_suite(args)
     if args.bus_latency == 2:
-        panel = figure3_panel(args.registers, suite=suite)
+        panel = figure3_panel(args.registers, suite=suite, jobs=args.jobs)
     else:
-        panel = figure2_panel(args.clusters, args.registers, suite=suite)
+        panel = figure2_panel(
+            args.clusters, args.registers, suite=suite, jobs=args.jobs
+        )
     if args.format == "csv":
         print(figure_to_csv(panel), end="")
     elif args.format == "json":
@@ -123,21 +144,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
+    make = make_benchmark if args.suite == "paper" else make_extended_benchmark
     names = [args.program] if args.program else list(PROGRAM_NAMES)
     for name in names:
-        benchmark = make_benchmark(name)
-        print(f"{name}:")
+        benchmark = make(name)
+        print(f"{name}: ({len(benchmark.loops)} loops)")
         for loop in benchmark.loops:
             print(f"  {describe(loop)}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .eval.figures import table2
+    import json as _json
+    import os
+    import time as _time
 
-    suite = spec_suite()[: args.programs] if args.programs else spec_suite()
+    from .eval.figures import table2
+    from .eval.parallel import resolve_jobs
+
+    suite = _pick_suite(args)
     machine = parse_machine(args.machine)
-    result = table2(suite, [machine])
+    jobs = resolve_jobs(args.jobs)
+    started = _time.perf_counter()
+    result = table2(suite, [machine], jobs=jobs)
+    wall_seconds = _time.perf_counter() - started
     print(result.render())
     config = result.configs[0]
     per = result.seconds[config]
@@ -148,6 +178,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     for name in ("uracam", "fixed-partition", "gp"):
         print(f"  {name:16s} {per[name]:.4f}")
+    print(f"suite wall clock: {wall_seconds:.2f}s (jobs={jobs})")
+    if args.json:
+        payload = {
+            "schema": "repro-bench-cli/v1",
+            "machine": config,
+            "suite": args.suite,
+            "benchmarks": len(suite),
+            "loops": sum(len(b.loops) for b in suite),
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "cpu_seconds_per_benchmark": dict(per),
+            "wall_seconds": wall_seconds,
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -180,12 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(SCHEDULERS))
     p_sched.set_defaults(func=_cmd_schedule)
 
+    def add_suite_options(p) -> None:
+        p.add_argument("--suite", default="paper", choices=SUITE_TIERS,
+                       help="workload tier: the paper's 40 loops or the "
+                       "220-loop extended tier")
+        p.add_argument("--programs", type=int, default=0,
+                       help="limit to the first N programs (0 = all)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for per-loop scheduling "
+                       "(1 = sequential, 0 = one per CPU)")
+
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
     p_eval.add_argument("--registers", type=int, default=32, choices=(32, 64))
     p_eval.add_argument("--bus-latency", type=int, default=1, choices=(1, 2))
-    p_eval.add_argument("--programs", type=int, default=0,
-                        help="limit to the first N programs (0 = all)")
+    add_suite_options(p_eval)
     p_eval.add_argument("--format", default="table",
                         choices=("table", "csv", "json"))
     p_eval.set_defaults(func=_cmd_evaluate)
@@ -196,12 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--machine", default="4x64",
                          help="NxR[xB[xL]] or c6x/lx/tigersharc")
-    p_bench.add_argument("--programs", type=int, default=0,
-                         help="limit to the first N programs (0 = all)")
+    add_suite_options(p_bench)
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the timings as JSON (CI artifact)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_work = sub.add_parser("workloads", help="describe the synthetic suite")
     p_work.add_argument("--program", default=None, choices=PROGRAM_NAMES)
+    p_work.add_argument("--suite", default="paper", choices=SUITE_TIERS)
     p_work.set_defaults(func=_cmd_workloads)
 
     p_mach = sub.add_parser("machines", help="list machine configurations")

@@ -20,7 +20,14 @@ from .export import (
     figure_to_dict,
     figure_to_json,
     suite_result_to_dict,
+    suite_result_to_json,
     table2_to_csv,
+)
+from .parallel import (
+    LoopTaskError,
+    resolve_jobs,
+    run_requests,
+    run_suite_parallel,
 )
 from .metrics import aggregate_ipc, arithmetic_mean, percent_gain, speedup
 from .report import format_bar_chart, format_table
@@ -36,6 +43,7 @@ from .runner import (
 __all__ = [
     "BenchmarkResult",
     "FigureResult",
+    "LoopTaskError",
     "SERIES_ORDER",
     "SweepResult",
     "SuiteResult",
@@ -60,10 +68,14 @@ __all__ = [
     "make_scheduler",
     "percent_gain",
     "register_sweep",
+    "resolve_jobs",
     "run_benchmark",
+    "run_requests",
     "run_suite",
+    "run_suite_parallel",
     "speedup",
     "suite_result_to_dict",
+    "suite_result_to_json",
     "table1_report",
     "table2_to_csv",
     "table2",

@@ -55,21 +55,39 @@ def table2_to_csv(table: Table2Result) -> str:
     return buffer.getvalue()
 
 
-def suite_result_to_dict(result: SuiteResult) -> Dict[str, Any]:
-    """Full drill-down of one (scheduler, machine) suite run."""
-    return {
+def suite_result_to_dict(result: SuiteResult, timing: bool = True) -> Dict[str, Any]:
+    """Full drill-down of one (scheduler, machine) suite run.
+
+    ``timing=False`` omits every wall-clock field (``cpu_seconds`` and
+    friends), leaving only the deterministic scheduling facts — IPC, II,
+    stages, bus/mem-comm/spill counts.  Two runs of the same suite then
+    export byte-identically, whatever ``--jobs`` value produced them.
+    """
+    payload: Dict[str, Any] = {
         "scheduler": result.scheduler,
         "machine": result.machine,
         "average_ipc": result.average_ipc,
-        "total_cpu_seconds": result.total_cpu_seconds,
         "benchmarks": {
-            name: benchmark_result_to_dict(bench)
+            name: benchmark_result_to_dict(bench, timing=timing)
             for name, bench in result.per_benchmark.items()
         },
     }
+    if timing:
+        payload["total_cpu_seconds"] = result.total_cpu_seconds
+    return payload
 
 
-def benchmark_result_to_dict(result: BenchmarkResult) -> Dict[str, Any]:
+def suite_result_to_json(
+    result: SuiteResult, timing: bool = True, indent: int = 2
+) -> str:
+    return json.dumps(
+        suite_result_to_dict(result, timing=timing), indent=indent, sort_keys=True
+    )
+
+
+def benchmark_result_to_dict(
+    result: BenchmarkResult, timing: bool = True
+) -> Dict[str, Any]:
     loops = []
     for outcome in result.outcomes:
         entry: Dict[str, Any] = {
@@ -77,8 +95,9 @@ def benchmark_result_to_dict(result: BenchmarkResult) -> Dict[str, Any]:
             "ipc": outcome.ipc(),
             "cycles": outcome.execution_cycles(),
             "modulo": outcome.is_modulo,
-            "cpu_seconds": outcome.cpu_seconds,
         }
+        if timing:
+            entry["cpu_seconds"] = outcome.cpu_seconds
         if outcome.is_modulo:
             schedule = outcome.schedule
             entry.update(
@@ -90,10 +109,12 @@ def benchmark_result_to_dict(result: BenchmarkResult) -> Dict[str, Any]:
                 ii_attempts=schedule.stats.ii_attempts,
             )
         loops.append(entry)
-    return {
+    payload: Dict[str, Any] = {
         "benchmark": result.benchmark,
         "ipc": result.ipc,
-        "cpu_seconds": result.cpu_seconds,
         "modulo_fraction": result.modulo_fraction,
         "loops": loops,
     }
+    if timing:
+        payload["cpu_seconds"] = result.cpu_seconds
+    return payload

@@ -78,17 +78,22 @@ def _panel(
     clustered_machine,
     unified_machine,
     suite: Sequence[Benchmark],
+    jobs: Optional[int] = 1,
 ) -> FigureResult:
-    """Run the four bars of one figure panel."""
+    """Run the four bars of one figure panel (one shared pool)."""
+    from .parallel import run_requests
+
     schedulers = {
         "unified": UnifiedScheduler(unified_machine),
         "uracam": UracamScheduler(clustered_machine),
         "fixed-partition": FixedPartitionScheduler(clustered_machine),
         "gp": GPScheduler(clustered_machine),
     }
+    suite_results = run_requests(
+        [(schedulers[label], suite) for label in SERIES_ORDER], jobs=jobs
+    )
     result = FigureResult(title=title, benchmarks=[b.name for b in suite])
-    for label in SERIES_ORDER:
-        suite_result = run_suite(suite, schedulers[label])
+    for label, suite_result in zip(SERIES_ORDER, suite_results):
         result.series[label] = [
             suite_result.per_benchmark[b.name].ipc for b in suite
         ]
@@ -99,6 +104,7 @@ def figure2_panel(
     num_clusters: int,
     total_registers: int,
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> FigureResult:
     """One of Figure 2's four panels (1 bus, 1-cycle latency)."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -110,22 +116,26 @@ def figure2_panel(
         clustered_machine=clustered(num_clusters, total_registers, 1, 1),
         unified_machine=unified(total_registers),
         suite=suite,
+        jobs=jobs,
     )
 
 
 def figure2(
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> List[FigureResult]:
     """All four Figure 2 panels (2/4 clusters x 32/64 registers)."""
     return [
-        figure2_panel(nc, regs, suite)
+        figure2_panel(nc, regs, suite, jobs=jobs)
         for nc in (2, 4)
         for regs in (32, 64)
     ]
 
 
 def figure3_panel(
-    total_registers: int, suite: Optional[Sequence[Benchmark]] = None
+    total_registers: int,
+    suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> FigureResult:
     """One Figure 3 panel: 4 clusters, 1 bus with 2-cycle latency."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -137,14 +147,16 @@ def figure3_panel(
         clustered_machine=four_cluster(total_registers, num_buses=1, bus_latency=2),
         unified_machine=unified(total_registers),
         suite=suite,
+        jobs=jobs,
     )
 
 
 def figure3(
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> List[FigureResult]:
     """Both Figure 3 panels (32 and 64 registers)."""
-    return [figure3_panel(regs, suite) for regs in (32, 64)]
+    return [figure3_panel(regs, suite, jobs=jobs) for regs in (32, 64)]
 
 
 def table1_report() -> str:
@@ -197,8 +209,19 @@ class Table2Result:
 def table2(
     suite: Optional[Sequence[Benchmark]] = None,
     machines=None,
+    jobs: Optional[int] = 1,
 ) -> Table2Result:
-    """Regenerate Table 2: scheduling CPU time per algorithm."""
+    """Regenerate Table 2: scheduling CPU time per algorithm.
+
+    With ``jobs != 1`` every (machine, scheduler) combination's loops go
+    through one shared worker pool; each loop's scheduling time is still
+    measured inside its worker.  Note the per-loop timer is elapsed time
+    (``perf_counter``), so oversubscribing the host (more workers than
+    spare cores) inflates the reported seconds through contention —
+    compare timing tables at matching ``jobs`` values.
+    """
+    from .parallel import run_requests
+
     suite = list(suite) if suite is not None else spec_suite()
     if machines is None:
         machines = [
@@ -207,17 +230,19 @@ def table2(
             four_cluster(32),
             four_cluster(64),
         ]
-    seconds: Dict[str, Dict[str, float]] = {}
-    for machine in machines:
-        per: Dict[str, float] = {}
-        for scheduler in (
-            UracamScheduler(machine),
-            FixedPartitionScheduler(machine),
-            GPScheduler(machine),
-        ):
-            result = run_suite(suite, scheduler)
-            per[scheduler.name] = result.total_cpu_seconds / max(1, len(suite))
-        seconds[machine.name] = per
+    schedulers = [
+        cls(machine)
+        for machine in machines
+        for cls in (UracamScheduler, FixedPartitionScheduler, GPScheduler)
+    ]
+    results = run_requests(
+        [(scheduler, suite) for scheduler in schedulers], jobs=jobs
+    )
+    seconds: Dict[str, Dict[str, float]] = {m.name: {} for m in machines}
+    for scheduler, result in zip(schedulers, results):
+        seconds[scheduler.machine.name][scheduler.name] = (
+            result.total_cpu_seconds / max(1, len(suite))
+        )
     return Table2Result(configs=[m.name for m in machines], seconds=seconds)
 
 

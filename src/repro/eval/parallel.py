@@ -1,0 +1,183 @@
+"""Parallel batch execution of suite evaluations.
+
+The sequential :mod:`~repro.eval.runner` schedules one loop at a time;
+this module fans the same per-loop work items out over a ``spawn``-safe
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges the outcomes
+back **in suite order**, so results are bit-identical to the sequential
+path regardless of worker count or completion order (scheduling is fully
+deterministic; only the measured ``cpu_seconds`` are wall-clock noise,
+exactly as they are between two sequential runs).
+
+Entry points:
+
+* :func:`run_requests` — evaluate many ``(scheduler, suite)`` pairs in
+  **one shared pool**.  Figure panels, Table 2 and the sweeps batch all
+  their scheduler/machine combinations through this, so a single pool's
+  startup cost is amortized over the whole experiment.
+* :func:`run_suite_parallel` — one suite with one scheduler
+  (``run_suite(..., jobs=N)`` delegates here).
+* :func:`resolve_jobs` — the ``--jobs`` convention: ``None``/``0`` means
+  one worker per CPU, ``1`` means the in-process sequential path.
+
+A worker that raises — or dies outright, taking the pool down — surfaces
+as a :class:`LoopTaskError` naming the benchmark and loop, instead of a
+hung pool or an anonymous ``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..ir.loop import Loop
+from ..schedule.drivers import BaseScheduler, ScheduleOutcome
+from ..workloads.spec import Benchmark
+from .runner import BenchmarkResult, SuiteResult, run_suite
+
+
+class LoopTaskError(ReproError):
+    """A per-loop scheduling task failed (or its worker died)."""
+
+    def __init__(
+        self, benchmark: str, loop_name: str, scheduler: str, cause: BaseException
+    ) -> None:
+        self.benchmark = benchmark
+        self.loop_name = loop_name
+        self.scheduler = scheduler
+        self.cause = cause
+        super().__init__(
+            f"scheduling loop {loop_name!r} of benchmark {benchmark!r} "
+            f"with {scheduler!r} failed: {type(cause).__name__}: {cause}"
+        )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` -> CPU count, else as given."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ReproError(f"--jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+#: Per-worker scheduler table, installed once by the pool initializer so
+#: tasks only ship a request index instead of re-pickling the scheduler
+#: (and its machine config) for every loop.
+_WORKER_SCHEDULERS: Tuple[BaseScheduler, ...] = ()
+
+
+def _init_worker(schedulers: Tuple[BaseScheduler, ...]) -> None:
+    global _WORKER_SCHEDULERS
+    _WORKER_SCHEDULERS = schedulers
+
+
+def _schedule_loop(request_index: int, loop: Loop) -> ScheduleOutcome:
+    """Worker entry point (module-level: picklable under ``spawn``)."""
+    return _WORKER_SCHEDULERS[request_index].schedule(loop)
+
+
+#: A work unit key: (request index, benchmark index, loop index).
+_TaskKey = Tuple[int, int, int]
+
+
+def run_requests(
+    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
+    jobs: Optional[int] = 1,
+) -> List[SuiteResult]:
+    """Evaluate every ``(scheduler, suite)`` request, sharing one pool.
+
+    Returns one :class:`SuiteResult` per request, in request order, with
+    benchmarks and loop outcomes in their original suite order — the
+    merge is deterministic no matter how the pool interleaves work.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1:
+        return [run_suite(list(suite), scheduler) for scheduler, suite in requests]
+
+    outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
+    context = multiprocessing.get_context("spawn")
+    futures: Dict[object, _TaskKey] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(tuple(scheduler for scheduler, _ in requests),),
+    ) as pool:
+        try:
+            # Submission sits inside the try: a worker dying mid-submit
+            # makes pool.submit itself raise BrokenProcessPool.
+            for r, (scheduler, suite) in enumerate(requests):
+                for b, benchmark in enumerate(suite):
+                    for i, loop in enumerate(benchmark.loops):
+                        futures[pool.submit(_schedule_loop, r, loop)] = (r, b, i)
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    raise _task_error(requests, futures[future], error)
+                outcomes[futures[future]] = future.result()
+            if not_done:  # pragma: no cover - only on FIRST_EXCEPTION exit
+                raise _task_error(
+                    requests,
+                    futures[next(iter(not_done))],
+                    RuntimeError("cancelled after another task failed"),
+                )
+        except BrokenProcessPool as error:
+            # A worker died (segfault, os._exit, OOM kill): name the work
+            # that cannot have completed rather than surfacing the bare
+            # pool failure.
+            pending = sorted(key for key in futures.values() if key not in outcomes)
+            raise _task_error(requests, pending[0] if pending else (0, 0, 0), error) from error
+        finally:
+            pool.shutdown(cancel_futures=True)
+
+    results = []
+    for r, (scheduler, suite) in enumerate(requests):
+        result = SuiteResult(
+            scheduler=scheduler.name, machine=scheduler.machine.name
+        )
+        for b, benchmark in enumerate(suite):
+            bench_result = BenchmarkResult(
+                benchmark=benchmark.name,
+                scheduler=scheduler.name,
+                machine=scheduler.machine.name,
+            )
+            for i in range(len(benchmark.loops)):
+                bench_result.outcomes.append(outcomes[(r, b, i)])
+            result.per_benchmark[benchmark.name] = bench_result
+        results.append(result)
+    return results
+
+
+def _task_error(
+    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
+    key: _TaskKey,
+    cause: BaseException,
+) -> LoopTaskError:
+    r, b, i = key
+    scheduler, suite = requests[r]
+    benchmark = list(suite)[b]
+    return LoopTaskError(
+        benchmark=benchmark.name,
+        loop_name=benchmark.loops[i].name,
+        scheduler=scheduler.name,
+        cause=cause,
+    )
+
+
+def run_suite_parallel(
+    suite: Sequence[Benchmark],
+    scheduler: BaseScheduler,
+    jobs: Optional[int] = None,
+) -> SuiteResult:
+    """Parallel counterpart of :func:`~repro.eval.runner.run_suite`.
+
+    Unlike :func:`run_requests` (which, like ``run_suite``, defaults to
+    the sequential path) this function exists to parallelize, so its
+    default ``jobs=None`` means one worker per CPU.
+    """
+    return run_requests([(scheduler, suite)], jobs=jobs)[0]

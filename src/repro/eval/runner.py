@@ -97,8 +97,19 @@ class SuiteResult:
 def run_suite(
     suite: Sequence[Benchmark],
     scheduler: BaseScheduler,
+    jobs: Optional[int] = 1,
 ) -> SuiteResult:
-    """Schedule the whole suite with one scheduler instance."""
+    """Schedule the whole suite with one scheduler instance.
+
+    ``jobs`` follows the CLI convention: ``1`` (the default) runs
+    in-process and sequentially; any other value dispatches the per-loop
+    work items to a worker pool (see :mod:`repro.eval.parallel`) with a
+    deterministic merge, so the result is bit-identical either way.
+    """
+    if jobs != 1:
+        from .parallel import run_suite_parallel
+
+        return run_suite_parallel(suite, scheduler, jobs=jobs)
     result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
     for benchmark in suite:
         result.per_benchmark[benchmark.name] = run_benchmark(benchmark, scheduler)

@@ -32,7 +32,6 @@ from ..schedule.drivers import (
 )
 from ..workloads.spec import Benchmark, spec_suite
 from .report import format_table
-from .runner import run_suite
 
 #: Schedulers included in every sweep (unified only where it applies).
 _CLUSTERED_SCHEDULERS = (UracamScheduler, FixedPartitionScheduler, GPScheduler)
@@ -46,16 +45,30 @@ class SweepResult:
     points: List[object]
     series: Dict[str, List[float]] = field(default_factory=dict)
 
-    def crossover(self, a: str, b: str) -> Optional[object]:
-        """First sweep point where scheduler ``a`` overtakes ``b``.
+    def _rival_front(self, rivals: Sequence[str]) -> List[float]:
+        """Pointwise best value over ``rivals`` (the front ``a`` must beat)."""
+        if not rivals:
+            raise ValueError("need at least one rival series")
+        return [
+            max(self.series[label][i] for label in rivals)
+            for i in range(len(self.points))
+        ]
 
-        "Overtakes" means: ``a`` trailed (or tied) at some earlier point and
-        now strictly leads.  Returns None if ``a`` never overtakes — either
-        because it leads from the very first point (nothing to overtake
-        from) or because it never pulls ahead.
+    def crossover(self, a: str, *rivals: str) -> Optional[object]:
+        """First sweep point where scheduler ``a`` overtakes its rivals.
+
+        With a single rival this is the classic two-series helper:
+        "overtakes" means ``a`` trailed (or tied) at some earlier point
+        and now strictly leads.  With several rivals, ``a`` is compared
+        against their pointwise front (the best rival at each point), so
+        the result is the first point where ``a`` takes over the whole
+        front after trailing it.  Returns None if ``a`` never overtakes —
+        either because it leads from the very first point (nothing to
+        overtake from) or because it never pulls ahead.
         """
+        front = self._rival_front(rivals)
         trailed_before = False
-        for point, va, vb in zip(self.points, self.series[a], self.series[b]):
+        for point, va, vb in zip(self.points, self.series[a], front):
             if va > vb and trailed_before:
                 return point
             trailed_before = va <= vb or trailed_before
@@ -63,12 +76,40 @@ class SweepResult:
                 return None  # a leads from the start
         return None
 
-    def gap_percent(self, a: str, b: str) -> List[float]:
-        """Per-point percentage gap of ``a`` over ``b``."""
+    def gap_percent(self, a: str, *rivals: str) -> List[float]:
+        """Per-point percentage gap of ``a`` over the rivals' front.
+
+        One rival reproduces the original pairwise gap; several rivals
+        measure ``a`` against the best rival at each point.
+        """
+        front = self._rival_front(rivals)
         return [
             (va / vb - 1.0) * 100.0 if vb > 0 else 0.0
-            for va, vb in zip(self.series[a], self.series[b])
+            for va, vb in zip(self.series[a], front)
         ]
+
+    def front(self) -> List[str]:
+        """Per-point leader over *all* series (first label wins ties)."""
+        leaders = []
+        for i in range(len(self.points)):
+            leaders.append(
+                max(self.series, key=lambda label: (self.series[label][i]))
+            )
+        return leaders
+
+    def front_changes(self) -> List[tuple]:
+        """Sweep points where the n-way front's leader changes hands.
+
+        Returns ``(point, previous_leader, new_leader)`` tuples — the
+        n-way generalization of :meth:`crossover` over every series at
+        once.
+        """
+        leaders = self.front()
+        changes = []
+        for i in range(1, len(leaders)):
+            if leaders[i] != leaders[i - 1]:
+                changes.append((self.points[i], leaders[i - 1], leaders[i]))
+        return changes
 
     def render(self) -> str:
         headers = [self.parameter] + list(self.series)
@@ -78,14 +119,23 @@ class SweepResult:
         return format_table(headers, rows)
 
 
-def _average_ipc(suite: Sequence[Benchmark], scheduler) -> float:
-    return run_suite(list(suite), scheduler).average_ipc
+def _average_ipcs(
+    suite: Sequence[Benchmark], schedulers: Sequence, jobs: Optional[int]
+) -> List[float]:
+    """Average IPC per scheduler, all batched through one worker pool."""
+    from .parallel import run_requests
+
+    results = run_requests(
+        [(scheduler, suite) for scheduler in schedulers], jobs=jobs
+    )
+    return [result.average_ipc for result in results]
 
 
 def register_sweep(
     register_totals: Sequence[int] = (16, 32, 48, 64, 96),
     num_clusters: int = 4,
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """IPC vs. total registers on an ``num_clusters``-cluster machine."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -93,17 +143,17 @@ def register_sweep(
     for cls in _CLUSTERED_SCHEDULERS:
         result.series[cls.name] = []
     result.series["unified"] = []
+    schedulers = []
     for total in register_totals:
         if total % num_clusters:
             raise ConfigError(
                 f"{total} registers do not divide over {num_clusters} clusters"
             )
         machine = clustered(num_clusters, total)
-        for cls in _CLUSTERED_SCHEDULERS:
-            result.series[cls.name].append(_average_ipc(suite, cls(machine)))
-        result.series["unified"].append(
-            _average_ipc(suite, UnifiedScheduler(unified(total)))
-        )
+        schedulers.extend(cls(machine) for cls in _CLUSTERED_SCHEDULERS)
+        schedulers.append(UnifiedScheduler(unified(total)))
+    for scheduler, ipc in zip(schedulers, _average_ipcs(suite, schedulers, jobs)):
+        result.series[scheduler.name].append(ipc)
     return result
 
 
@@ -112,16 +162,20 @@ def bus_latency_sweep(
     num_clusters: int = 4,
     total_registers: int = 64,
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """IPC vs. inter-cluster bus latency (Figures 2 and 3 are points 1, 2)."""
     suite = list(suite) if suite is not None else spec_suite()
     result = SweepResult("bus_latency", list(latencies))
     for cls in _CLUSTERED_SCHEDULERS:
         result.series[cls.name] = []
-    for latency in latencies:
-        machine = clustered(num_clusters, total_registers, bus_latency=latency)
-        for cls in _CLUSTERED_SCHEDULERS:
-            result.series[cls.name].append(_average_ipc(suite, cls(machine)))
+    schedulers = [
+        cls(clustered(num_clusters, total_registers, bus_latency=latency))
+        for latency in latencies
+        for cls in _CLUSTERED_SCHEDULERS
+    ]
+    for scheduler, ipc in zip(schedulers, _average_ipcs(suite, schedulers, jobs)):
+        result.series[scheduler.name].append(ipc)
     return result
 
 
@@ -129,22 +183,31 @@ def cluster_sweep(
     cluster_counts: Sequence[int] = (1, 2, 4),
     total_registers: int = 64,
     suite: Optional[Sequence[Benchmark]] = None,
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """IPC vs. cluster count at constant total resources (the Table 1 axis)."""
     suite = list(suite) if suite is not None else spec_suite()
     result = SweepResult("clusters", list(cluster_counts))
     result.series["gp"] = []
     result.series["uracam"] = []
+    plan = []  # one entry per point: either a shared scheduler or a pair
+    schedulers = []
     for count in cluster_counts:
         if count == 1:
-            machine = unified(total_registers)
-            ipc = _average_ipc(suite, UnifiedScheduler(machine))
-            result.series["gp"].append(ipc)
-            result.series["uracam"].append(ipc)
-            continue
-        machine = clustered(count, total_registers)
-        result.series["gp"].append(_average_ipc(suite, GPScheduler(machine)))
-        result.series["uracam"].append(
-            _average_ipc(suite, UracamScheduler(machine))
-        )
+            scheduler = UnifiedScheduler(unified(total_registers))
+            plan.append((scheduler,))
+            schedulers.append(scheduler)
+        else:
+            machine = clustered(count, total_registers)
+            pair = (GPScheduler(machine), UracamScheduler(machine))
+            plan.append(pair)
+            schedulers.extend(pair)
+    ipcs = dict(zip(schedulers, _average_ipcs(suite, schedulers, jobs)))
+    for entry in plan:
+        if len(entry) == 1:  # unified point: one run feeds both series
+            result.series["gp"].append(ipcs[entry[0]])
+            result.series["uracam"].append(ipcs[entry[0]])
+        else:
+            result.series["gp"].append(ipcs[entry[0]])
+            result.series["uracam"].append(ipcs[entry[1]])
     return result

@@ -2,7 +2,17 @@
 
 from .generator import LoopShape, generate_loop, generate_suite
 from .kernels import KERNELS, all_kernels
-from .spec import PROGRAM_NAMES, SUITE_SEED, Benchmark, make_benchmark, spec_suite
+from .spec import (
+    PROGRAM_NAMES,
+    SUITE_SEED,
+    SUITE_TIERS,
+    Benchmark,
+    extended_suite,
+    make_benchmark,
+    make_extended_benchmark,
+    spec_suite,
+    suite_for_tier,
+)
 
 __all__ = [
     "Benchmark",
@@ -10,9 +20,13 @@ __all__ = [
     "LoopShape",
     "PROGRAM_NAMES",
     "SUITE_SEED",
+    "SUITE_TIERS",
     "all_kernels",
+    "extended_suite",
     "generate_loop",
     "generate_suite",
     "make_benchmark",
+    "make_extended_benchmark",
     "spec_suite",
+    "suite_for_tier",
 ]

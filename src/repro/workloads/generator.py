@@ -13,6 +13,7 @@ Generation is fully deterministic for a given :class:`LoopShape` and seed.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import List, Tuple
@@ -76,6 +77,20 @@ class LoopShape:
         ):
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{label} must be in [0, 1]")
+
+    def scaled(self, factor: float, **overrides) -> "LoopShape":
+        """A derived shape with the body scaled by ``factor``.
+
+        Keeps every other parameter unless overridden; ratio-type
+        overrides are clamped to [0, 1] so programmatic jitter (the
+        extended suite tier) cannot produce an invalid shape.
+        """
+        fields = dataclasses.asdict(self)
+        fields["num_operations"] = max(4, round(self.num_operations * factor))
+        fields.update(overrides)
+        for ratio in ("mem_ratio", "store_fraction", "fp_ratio", "depth_bias"):
+            fields[ratio] = min(1.0, max(0.0, fields[ratio]))
+        return LoopShape(**fields)
 
 
 def _stable_hash(text: str) -> int:

@@ -15,13 +15,18 @@ Everything is deterministic: the suite depends only on ``SUITE_SEED``.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .generator import LoopShape, generate_loop
+from .generator import LoopShape, _stable_hash, generate_loop
 
 #: Global seed of the synthetic suite; change to resample every program.
 SUITE_SEED = 20010101
+
+#: Selectable suite sizes: the paper's 10-program/40-loop evaluation and
+#: the production-scale tier (hundreds of loops, bodies beyond 200 ops).
+SUITE_TIERS = ("paper", "extended")
 
 
 @dataclass(frozen=True)
@@ -142,3 +147,101 @@ def make_benchmark(name: str, seed: int = SUITE_SEED) -> Benchmark:
 def spec_suite(seed: int = SUITE_SEED) -> List[Benchmark]:
     """The full ten-program SPECfp95-like suite."""
     return [make_benchmark(name, seed) for name in PROGRAM_NAMES]
+
+
+# ----------------------------------------------------------------------
+# The extended (production-scale) tier
+# ----------------------------------------------------------------------
+
+#: Body-size multipliers applied to each paper shape; the largest takes
+#: every program past 200 operations (fpppp up to ~280).
+_EXTENDED_SCALES = (1.0, 1.8, 3.2, 4.4)
+
+#: Extra memory-traffic / recurrence profiles per program, exercising the
+#: corners the paper shapes average over.
+_EXTENDED_PROFILES = 6
+
+
+def _extended_shapes_for(name: str, seed: int) -> List[LoopShape]:
+    """The extended tier's 22 shapes for one program.
+
+    Four size scalings of each paper shape (16) plus six dedicated
+    profiles: streaming (memory-bound), compute-bound large bodies and
+    deep recurrences at distance 2.  All jitter is drawn from an RNG
+    seeded by ``(seed, name)``, so the tier is as deterministic as the
+    paper tier.
+    """
+    rng = random.Random((seed * 2_000_003) ^ _stable_hash(name))
+    base_shapes = _shapes_for(name)
+    shapes: List[LoopShape] = []
+    for base in base_shapes:
+        for scale in _EXTENDED_SCALES:
+            shapes.append(
+                base.scaled(
+                    scale,
+                    mem_ratio=base.mem_ratio + rng.uniform(-0.08, 0.08),
+                    depth_bias=base.depth_bias + rng.uniform(-0.10, 0.10),
+                    recurrences=base.recurrences + (1 if rng.random() < 0.25 else 0),
+                    trip_count=rng.randrange(80, 401, 10),
+                )
+            )
+    anchor = base_shapes[0]
+    for i in range(_EXTENDED_PROFILES):
+        kind = i % 3
+        if kind == 0:  # streaming: wide, memory-bound
+            shapes.append(
+                anchor.scaled(
+                    1.5 + rng.uniform(0.0, 1.0),
+                    mem_ratio=0.55,
+                    depth_bias=0.15,
+                    recurrences=0,
+                    trip_count=rng.randrange(200, 401, 10),
+                )
+            )
+        elif kind == 1:  # compute-bound large body: fpppp-like pressure
+            shapes.append(
+                anchor.scaled(
+                    3.6 + rng.uniform(0.0, 1.0),
+                    mem_ratio=0.10,
+                    depth_bias=0.45,
+                    recurrences=0,
+                    trip_count=rng.randrange(80, 201, 10),
+                )
+            )
+        else:  # recurrence-heavy: deep carried chains at distance 2
+            shapes.append(
+                anchor.scaled(
+                    1.0 + rng.uniform(0.0, 1.2),
+                    depth_bias=min(1.0, anchor.depth_bias + 0.15),
+                    recurrences=3 + (i // 3),
+                    recurrence_distance=2,
+                    trip_count=rng.randrange(100, 301, 10),
+                )
+            )
+    return shapes
+
+
+def make_extended_benchmark(name: str, seed: int = SUITE_SEED) -> Benchmark:
+    """Build one program's extended-tier loop suite."""
+    shapes = _extended_shapes_for(name, seed)
+    loops = tuple(
+        generate_loop(f"{name}_ext{i}", shape, seed + 104_729 * (i + 1))
+        for i, shape in enumerate(shapes)
+    )
+    return Benchmark(name=name, loops=loops)
+
+
+def extended_suite(seed: int = SUITE_SEED) -> List[Benchmark]:
+    """The production-scale tier: 10 programs x 22 loops (220 loops),
+    body sizes from ~32 to ~280 operations, mixed recurrence depths and
+    memory-traffic profiles.  Fully deterministic for a given seed."""
+    return [make_extended_benchmark(name, seed) for name in PROGRAM_NAMES]
+
+
+def suite_for_tier(tier: str, seed: int = SUITE_SEED) -> List[Benchmark]:
+    """Resolve a named suite tier (``paper`` or ``extended``)."""
+    if tier == "paper":
+        return spec_suite(seed)
+    if tier == "extended":
+        return extended_suite(seed)
+    raise KeyError(f"unknown suite tier {tier!r}; choose from {SUITE_TIERS}")

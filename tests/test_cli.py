@@ -97,6 +97,37 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "swim_loop0" in out
 
+    def test_workloads_extended_tier(self, capsys):
+        assert main(
+            ["workloads", "--suite", "extended", "--program", "swim"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "swim_ext0" in out
+        assert "(22 loops)" in out
+
+    def test_bench_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--machine", "2x32", "--programs", "1",
+             "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-bench-cli/v1"
+        assert payload["suite"] == "paper"
+        assert payload["jobs"] == 1
+        assert payload["wall_seconds"] > 0
+        assert set(payload["cpu_seconds_per_benchmark"]) == {
+            "uracam", "fixed-partition", "gp"
+        }
+
+    def test_evaluate_jobs_matches_sequential(self, capsys):
+        argv = ["evaluate", "--programs", "1", "--format", "csv"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
     def test_machines_listing(self, capsys):
         assert main(["machines"]) == 0
         out = capsys.readouterr().out

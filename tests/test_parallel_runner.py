@@ -1,0 +1,127 @@
+"""Determinism and failure-surfacing tests for the parallel batch runner.
+
+The contract under test: for any ``--jobs`` value the parallel runner's
+results — per-loop IPC, II, stages, bus/mem-comm/spill stats, rendered
+tables, machine-readable exports — are byte-identical to the sequential
+path, and a worker that raises (or dies) produces a clear per-loop error
+instead of a hung pool.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.export import figure_to_csv, suite_result_to_json
+from repro.eval.figures import figure2_panel
+from repro.eval.parallel import (
+    LoopTaskError,
+    resolve_jobs,
+    run_requests,
+    run_suite_parallel,
+)
+from repro.eval.runner import make_scheduler, run_suite
+from repro.errors import ReproError
+from repro.machine.presets import two_cluster
+from repro.schedule.drivers import BaseScheduler, GPScheduler, UracamScheduler
+from repro.workloads.spec import spec_suite
+
+
+class _CrashingScheduler(BaseScheduler):
+    """Raises on one specific loop (module-level: picklable under spawn)."""
+
+    name = "crashing"
+
+    def __init__(self, machine, victim: str) -> None:
+        super().__init__(machine)
+        self.victim = victim
+
+    def schedule(self, loop):
+        if loop.name == self.victim:
+            raise RuntimeError("injected scheduler crash")
+        return super().schedule(loop)
+
+    def _policy(self, loop, ii):
+        from repro.schedule.engine import AllClustersPolicy
+
+        return AllClustersPolicy(self.machine.num_clusters)
+
+
+class _DyingScheduler(BaseScheduler):
+    """Kills its worker process outright (the BrokenProcessPool case)."""
+
+    name = "dying"
+
+    def schedule(self, loop):
+        os._exit(13)
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_jobs(-2)
+
+
+class TestDeterministicMerge:
+    """Parallel output is byte-identical to sequential, any worker count."""
+
+    @pytest.fixture(scope="class")
+    def paper_suite(self):
+        return spec_suite()
+
+    @pytest.fixture(scope="class")
+    def sequential_export(self, paper_suite):
+        result = run_suite(paper_suite, make_scheduler("gp", two_cluster(32)))
+        return suite_result_to_json(result, timing=False)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 8])
+    def test_byte_identical_export(self, paper_suite, sequential_export, jobs):
+        result = run_suite(
+            paper_suite, make_scheduler("gp", two_cluster(32)), jobs=jobs
+        )
+        assert suite_result_to_json(result, timing=False) == sequential_export
+
+    def test_rendered_panel_identical(self, paper_suite):
+        mini = paper_suite[:1]
+        sequential = figure2_panel(2, 32, suite=mini, jobs=1)
+        pooled = figure2_panel(2, 32, suite=mini, jobs=2)
+        assert pooled.render() == sequential.render()
+        assert figure_to_csv(pooled) == figure_to_csv(sequential)
+
+    def test_run_requests_shares_one_pool(self, paper_suite):
+        mini = paper_suite[:1]
+        machine = two_cluster(32)
+        schedulers = [GPScheduler(machine), UracamScheduler(machine)]
+        pooled = run_requests([(s, mini) for s in schedulers], jobs=2)
+        for scheduler, result in zip(schedulers, pooled):
+            expected = run_suite(mini, scheduler)
+            assert suite_result_to_json(
+                result, timing=False
+            ) == suite_result_to_json(expected, timing=False)
+            assert result.scheduler == scheduler.name
+
+
+class TestFailureSurfacing:
+    def test_worker_exception_names_the_loop(self):
+        suite = spec_suite()[:1]
+        victim = suite[0].loops[1].name
+        scheduler = _CrashingScheduler(two_cluster(32), victim=victim)
+        with pytest.raises(LoopTaskError) as excinfo:
+            run_suite_parallel(suite, scheduler, jobs=2)
+        assert victim in str(excinfo.value)
+        assert suite[0].name in str(excinfo.value)
+        assert excinfo.value.loop_name == victim
+
+    def test_dead_worker_does_not_hang(self):
+        suite = spec_suite()[:1]
+        with pytest.raises(LoopTaskError) as excinfo:
+            run_suite_parallel(suite, _DyingScheduler(two_cluster(32)), jobs=2)
+        # The pool is broken, not hung, and the error names affected work.
+        assert excinfo.value.benchmark == suite[0].name

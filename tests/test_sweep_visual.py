@@ -66,6 +66,53 @@ class TestSweepResult:
         result.series["b"] = [2.0]
         assert result.gap_percent("a", "b")[0] == pytest.approx(23.0)
 
+    def make_three_way(self):
+        # a trails the b/c front at 1-2, then overtakes both at point 3.
+        result = SweepResult("x", [1, 2, 3, 4])
+        result.series["a"] = [1.0, 2.5, 4.0, 5.0]
+        result.series["b"] = [2.0, 2.0, 2.0, 2.0]
+        result.series["c"] = [1.5, 3.0, 3.5, 3.0]
+        return result
+
+    def test_nway_crossover_against_rival_front(self):
+        result = self.make_three_way()
+        # Pairwise, a overtakes b already at point 2; against the full
+        # front (best of b and c per point) only at point 3.
+        assert result.crossover("a", "b") == 2
+        assert result.crossover("a", "b", "c") == 3
+
+    def test_nway_crossover_no_rivals_rejected(self):
+        result = self.make_three_way()
+        with pytest.raises(ValueError):
+            result.crossover("a")
+
+    def test_nway_gap_percent_uses_front(self):
+        result = self.make_three_way()
+        gaps = result.gap_percent("a", "b", "c")
+        # Point 1: front is b (2.0); point 3: front is c (3.5).
+        assert gaps[0] == pytest.approx(-50.0)
+        assert gaps[2] == pytest.approx((4.0 / 3.5 - 1.0) * 100.0)
+
+    def test_front_per_point_leader(self):
+        result = self.make_three_way()
+        assert result.front() == ["b", "c", "a", "a"]
+
+    def test_front_ties_go_to_first_series(self):
+        result = SweepResult("x", [1])
+        result.series["a"] = [2.0]
+        result.series["b"] = [2.0]
+        assert result.front() == ["a"]
+
+    def test_front_changes_lists_handovers(self):
+        result = self.make_three_way()
+        assert result.front_changes() == [(2, "b", "c"), (3, "c", "a")]
+
+    def test_front_changes_stable_front_is_empty(self):
+        result = SweepResult("x", [1, 2])
+        result.series["a"] = [3.0, 3.0]
+        result.series["b"] = [1.0, 2.0]
+        assert result.front_changes() == []
+
     def test_render(self):
         result = SweepResult("regs", [32, 64])
         result.series["gp"] = [4.0, 5.0]

@@ -7,9 +7,13 @@ from repro.workloads.generator import LoopShape, generate_loop, generate_suite
 from repro.workloads.kernels import KERNELS, all_kernels, dot_product, tridiagonal
 from repro.workloads.spec import (
     PROGRAM_NAMES,
+    SUITE_TIERS,
     Benchmark,
+    extended_suite,
     make_benchmark,
+    make_extended_benchmark,
     spec_suite,
+    suite_for_tier,
 )
 
 
@@ -141,3 +145,84 @@ class TestSpecSuite:
     def test_unknown_program_raises(self):
         with pytest.raises(KeyError):
             make_benchmark("gcc")
+
+
+class TestShapeScaling:
+    def test_scaled_multiplies_operations(self):
+        base = LoopShape(50, mem_ratio=0.3, trip_count=100)
+        assert base.scaled(4.0).num_operations == 200
+        assert base.scaled(4.0).mem_ratio == base.mem_ratio
+
+    def test_scaled_overrides_and_clamps_ratios(self):
+        base = LoopShape(50, mem_ratio=0.55, trip_count=100)
+        shape = base.scaled(1.0, mem_ratio=base.mem_ratio + 0.6, recurrences=3)
+        assert shape.mem_ratio == 1.0  # clamped, not ValueError
+        assert shape.recurrences == 3
+
+    def test_scaled_never_degenerates(self):
+        assert LoopShape(8, trip_count=50).scaled(0.1).num_operations >= 4
+
+
+class TestExtendedSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return extended_suite()
+
+    def test_production_scale(self, suite):
+        loops = [loop for benchmark in suite for loop in benchmark.loops]
+        assert len(loops) >= 200
+        assert sum(1 for loop in loops if loop.num_operations > 200) >= 10
+        assert {b.name for b in suite} == set(PROGRAM_NAMES)
+
+    def test_mixed_recurrence_depths_and_memory_profiles(self, suite):
+        loops = [loop for benchmark in suite for loop in benchmark.loops]
+        depths = {
+            any(edge.is_loop_carried for edge in loop.ddg.edges())
+            for loop in loops
+        }
+        assert depths == {True, False}  # both recurrence-free and carried
+
+        def mem_fraction(loop):
+            mem = sum(1 for op in loop.ddg.operations() if op.is_memory)
+            return mem / loop.num_operations
+
+        fractions = [mem_fraction(loop) for loop in loops]
+        assert min(fractions) < 0.2 and max(fractions) > 0.4
+
+    def test_deterministic(self):
+        a = make_extended_benchmark("swim")
+        b = make_extended_benchmark("swim")
+        assert [l.name for l in a.loops] == [l.name for l in b.loops]
+        for la, lb in zip(a.loops, b.loops):
+            assert sorted((d.src, d.dst) for d in la.ddg.edges()) == sorted(
+                (d.src, d.dst) for d in lb.ddg.edges()
+            )
+
+    def test_all_loops_valid(self, suite):
+        for benchmark in suite:
+            for loop in benchmark.loops:
+                loop.ddg.validate()
+
+    def test_distinct_from_paper_tier(self, suite):
+        paper_names = {
+            loop.name for benchmark in spec_suite() for loop in benchmark.loops
+        }
+        extended_names = {
+            loop.name for benchmark in suite for loop in benchmark.loops
+        }
+        assert not paper_names & extended_names
+
+
+class TestSuiteTiers:
+    def test_paper_tier(self):
+        assert [b.name for b in suite_for_tier("paper")] == list(PROGRAM_NAMES)
+
+    def test_extended_tier_is_bigger(self):
+        paper = sum(len(b.loops) for b in suite_for_tier("paper"))
+        extended = sum(len(b.loops) for b in suite_for_tier("extended"))
+        assert extended > 5 * paper
+
+    def test_tier_names(self):
+        assert set(SUITE_TIERS) == {"paper", "extended"}
+        with pytest.raises(KeyError):
+            suite_for_tier("industrial")

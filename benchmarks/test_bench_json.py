@@ -6,15 +6,19 @@ timings of the Table 2 configurations and the micro components in a
 before/after-comparable schema, so future PRs can diff their scheduling
 CPU time against the committed baseline.
 
-Schema (``repro-bench/v2``)::
+Schema (``repro-bench/v3``)::
 
     {
-      "schema": "repro-bench/v2",
+      "schema": "repro-bench/v3",
       "table2": {"<config>": {"<scheduler>": seconds_per_benchmark}},
       "micro":  {"<component>": best_seconds},
       "parallel": {"suite": "extended", "loops": N, "scheduler": "gp",
                    "machine": "<config>", "jobs": J, "cpu_count": C,
                    "wall_seconds": {"jobs1": s, "jobsJ": s}},
+      "validate_wall_clock": {"suite": "extended", "machine": "<config>",
+                              "scheduler": "gp", "schedules": N,
+                              "full_recheck_seconds": s,
+                              "cached_seconds": s},
       "meta":   {"rounds": N, "suite_benchmarks": M}
     }
 
@@ -23,6 +27,13 @@ bodies to ~280 ops) through the batch runner, sequentially and with a
 worker pool.  ``cpu_count`` is recorded because the jobsJ number only
 drops below jobs1 when the host actually has spare cores — on a
 single-CPU container it measures pool overhead instead.
+
+``validate_wall_clock`` (v3) times ``validate()`` over every modulo
+schedule of that extended-tier run, in both modes: ``full_recheck=True``
+rebuilds the lifetime analysis from the raw value ledger per schedule
+(the pre-analysis-core behaviour, now the opt-in paranoid path), while
+the cached default reads the ScheduleAnalysis session each engine
+attached — the before/after record of the validator's segment sharing.
 """
 
 from __future__ import annotations
@@ -110,8 +121,25 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
     }
 
     timings = extended_parallel_timings
+    schedules = [
+        outcome.schedule
+        for bench in timings["sequential_result"].per_benchmark.values()
+        for outcome in bench.outcomes
+        if outcome.is_modulo
+    ]
+    # Cached pass first: the sessions were attached by the engines during
+    # the sequential run, exactly as a sweep would see them.
+    started = time.perf_counter()
+    for schedule in schedules:
+        schedule.validate()
+    cached_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for schedule in schedules:
+        schedule.validate(full_recheck=True)
+    full_recheck_seconds = time.perf_counter() - started
+
     payload = {
-        "schema": "repro-bench/v2",
+        "schema": "repro-bench/v3",
         "table2": {
             config: dict(result.seconds[config]) for config in result.configs
         },
@@ -127,6 +155,14 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
                 f"jobs{jobs}": seconds
                 for jobs, seconds in timings["wall_seconds"].items()
             },
+        },
+        "validate_wall_clock": {
+            "suite": "extended",
+            "machine": timings["machine"],
+            "scheduler": timings["scheduler"],
+            "schedules": len(schedules),
+            "full_recheck_seconds": full_recheck_seconds,
+            "cached_seconds": cached_seconds,
         },
         "meta": {
             "rounds": _MICRO_ROUNDS,

@@ -16,7 +16,11 @@ Commands:
 workload tier (the paper's 40 loops vs. the 220-loop production-scale
 tier) and ``--jobs N`` to fan per-loop scheduling out over N worker
 processes (``0`` = one per CPU; results are bit-identical to ``--jobs
-1``).
+1``).  ``--chunksize`` batches several loops per worker task (default:
+an automatic heuristic) and one worker pool is shared across everything
+a single invocation runs.  ``evaluate --verify`` is the slow paranoid
+mode: every engine commit cross-checks the incremental pressure state
+and every schedule is re-validated with ``full_recheck=True``.
 
 Examples::
 
@@ -95,7 +99,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print()
     if outcome.is_modulo:
         schedule = outcome.schedule
-        schedule.validate()
+        # One interactive loop: the independent full recheck is nearly
+        # free and keeps this command's validation engine-independent.
+        schedule.validate(full_recheck=True)
         print(render_kernel(schedule))
         print()
         stats = schedule.stats
@@ -121,14 +127,27 @@ def _pick_suite(args: argparse.Namespace):
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
+    from .eval.parallel import evaluation_pool
+    from .schedule.engine import EngineOptions
 
     suite = _pick_suite(args)
-    if args.bus_latency == 2:
-        panel = figure3_panel(args.registers, suite=suite, jobs=args.jobs)
-    else:
-        panel = figure2_panel(
-            args.clusters, args.registers, suite=suite, jobs=args.jobs
-        )
+    options = None
+    if args.verify:
+        # Paranoid end-to-end mode: incremental-vs-reference pressure
+        # cross-checks inside the engine, plus a full_recheck validation
+        # of every schedule before it is reported.
+        options = EngineOptions(verify_pressure=True, validate_schedules=True)
+    with evaluation_pool(args.jobs) as pool:
+        if args.bus_latency == 2:
+            panel = figure3_panel(
+                args.registers, suite=suite, jobs=args.jobs,
+                chunksize=args.chunksize, pool=pool, options=options,
+            )
+        else:
+            panel = figure2_panel(
+                args.clusters, args.registers, suite=suite, jobs=args.jobs,
+                chunksize=args.chunksize, pool=pool, options=options,
+            )
     if args.format == "csv":
         print(figure_to_csv(panel), end="")
     elif args.format == "json":
@@ -160,13 +179,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time as _time
 
     from .eval.figures import table2
-    from .eval.parallel import resolve_jobs
+    from .eval.parallel import evaluation_pool, resolve_jobs
 
     suite = _pick_suite(args)
     machine = parse_machine(args.machine)
     jobs = resolve_jobs(args.jobs)
     started = _time.perf_counter()
-    result = table2(suite, [machine], jobs=jobs)
+    with evaluation_pool(jobs) as pool:
+        result = table2(
+            suite, [machine], jobs=jobs, chunksize=args.chunksize, pool=pool
+        )
     wall_seconds = _time.perf_counter() - started
     print(result.render())
     config = result.configs[0]
@@ -236,11 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes for per-loop scheduling "
                        "(1 = sequential, 0 = one per CPU)")
+        p.add_argument("--chunksize", type=int, default=None,
+                       help="loops batched per worker task (default: "
+                       "automatic heuristic; results are identical at "
+                       "any value)")
 
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
     p_eval.add_argument("--registers", type=int, default=32, choices=(32, 64))
     p_eval.add_argument("--bus-latency", type=int, default=1, choices=(1, 2))
+    p_eval.add_argument("--verify", action="store_true",
+                        help="paranoid mode: cross-check the incremental "
+                        "pressure accounting at every engine commit and "
+                        "re-validate every schedule with full_recheck")
     add_suite_options(p_eval)
     p_eval.add_argument("--format", default="table",
                         choices=("table", "csv", "json"))

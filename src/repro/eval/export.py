@@ -107,12 +107,17 @@ def benchmark_result_to_dict(
                 mem_comms=schedule.stats.mem_comms,
                 spills=schedule.stats.spills,
                 ii_attempts=schedule.stats.ii_attempts,
+                # Off the schedule's cached lifetime analysis — the same
+                # session the engine maintained and the validator reads.
+                register_peaks=schedule.register_peaks(),
+                register_cycles=schedule.register_cycles(),
             )
         loops.append(entry)
     payload: Dict[str, Any] = {
         "benchmark": result.benchmark,
         "ipc": result.ipc,
         "modulo_fraction": result.modulo_fraction,
+        "peak_registers": result.peak_registers,
         "loops": loops,
     }
     if timing:

@@ -79,18 +79,29 @@ def _panel(
     unified_machine,
     suite: Sequence[Benchmark],
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
+    options=None,
 ) -> FigureResult:
-    """Run the four bars of one figure panel (one shared pool)."""
+    """Run the four bars of one figure panel (one shared pool).
+
+    ``options`` (an :class:`~repro.schedule.engine.EngineOptions`) is
+    handed to every scheduler — the CLI's ``--verify`` paranoid mode rides
+    in on it; ``pool``/``chunksize`` feed the batch runner.
+    """
     from .parallel import run_requests
 
     schedulers = {
-        "unified": UnifiedScheduler(unified_machine),
-        "uracam": UracamScheduler(clustered_machine),
-        "fixed-partition": FixedPartitionScheduler(clustered_machine),
-        "gp": GPScheduler(clustered_machine),
+        "unified": UnifiedScheduler(unified_machine, options=options),
+        "uracam": UracamScheduler(clustered_machine, options=options),
+        "fixed-partition": FixedPartitionScheduler(clustered_machine, options=options),
+        "gp": GPScheduler(clustered_machine, options=options),
     }
     suite_results = run_requests(
-        [(schedulers[label], suite) for label in SERIES_ORDER], jobs=jobs
+        [(schedulers[label], suite) for label in SERIES_ORDER],
+        jobs=jobs,
+        chunksize=chunksize,
+        pool=pool,
     )
     result = FigureResult(title=title, benchmarks=[b.name for b in suite])
     for label, suite_result in zip(SERIES_ORDER, suite_results):
@@ -105,6 +116,9 @@ def figure2_panel(
     total_registers: int,
     suite: Optional[Sequence[Benchmark]] = None,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
+    options=None,
 ) -> FigureResult:
     """One of Figure 2's four panels (1 bus, 1-cycle latency)."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -117,16 +131,31 @@ def figure2_panel(
         unified_machine=unified(total_registers),
         suite=suite,
         jobs=jobs,
+        chunksize=chunksize,
+        pool=pool,
+        options=options,
     )
 
 
 def figure2(
     suite: Optional[Sequence[Benchmark]] = None,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
 ) -> List[FigureResult]:
-    """All four Figure 2 panels (2/4 clusters x 32/64 registers)."""
+    """All four Figure 2 panels (2/4 clusters x 32/64 registers).
+
+    With ``jobs != 1`` and no caller-provided ``pool``, all four panels
+    share one :func:`~repro.eval.parallel.evaluation_pool` instead of
+    spawning a fresh pool per panel.
+    """
+    from .parallel import evaluation_pool
+
+    if pool is None and jobs != 1:
+        with evaluation_pool(jobs) as shared:
+            return figure2(suite, jobs=jobs, chunksize=chunksize, pool=shared)
     return [
-        figure2_panel(nc, regs, suite, jobs=jobs)
+        figure2_panel(nc, regs, suite, jobs=jobs, chunksize=chunksize, pool=pool)
         for nc in (2, 4)
         for regs in (32, 64)
     ]
@@ -136,6 +165,9 @@ def figure3_panel(
     total_registers: int,
     suite: Optional[Sequence[Benchmark]] = None,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
+    options=None,
 ) -> FigureResult:
     """One Figure 3 panel: 4 clusters, 1 bus with 2-cycle latency."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -148,15 +180,28 @@ def figure3_panel(
         unified_machine=unified(total_registers),
         suite=suite,
         jobs=jobs,
+        chunksize=chunksize,
+        pool=pool,
+        options=options,
     )
 
 
 def figure3(
     suite: Optional[Sequence[Benchmark]] = None,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
 ) -> List[FigureResult]:
-    """Both Figure 3 panels (32 and 64 registers)."""
-    return [figure3_panel(regs, suite, jobs=jobs) for regs in (32, 64)]
+    """Both Figure 3 panels (32 and 64 registers), sharing one pool."""
+    from .parallel import evaluation_pool
+
+    if pool is None and jobs != 1:
+        with evaluation_pool(jobs) as shared:
+            return figure3(suite, jobs=jobs, chunksize=chunksize, pool=shared)
+    return [
+        figure3_panel(regs, suite, jobs=jobs, chunksize=chunksize, pool=pool)
+        for regs in (32, 64)
+    ]
 
 
 def table1_report() -> str:
@@ -210,6 +255,8 @@ def table2(
     suite: Optional[Sequence[Benchmark]] = None,
     machines=None,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
 ) -> Table2Result:
     """Regenerate Table 2: scheduling CPU time per algorithm.
 
@@ -236,7 +283,10 @@ def table2(
         for cls in (UracamScheduler, FixedPartitionScheduler, GPScheduler)
     ]
     results = run_requests(
-        [(scheduler, suite) for scheduler in schedulers], jobs=jobs
+        [(scheduler, suite) for scheduler in schedulers],
+        jobs=jobs,
+        chunksize=chunksize,
+        pool=pool,
     )
     seconds: Dict[str, Dict[str, float]] = {m.name: {} for m in machines}
     for scheduler, result in zip(schedulers, results):

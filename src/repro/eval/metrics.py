@@ -6,6 +6,12 @@ each program's loops weighted naturally by their trip counts — i.e. total
 dynamic operations over total cycles.  IPC is clock-independent; for a
 clustered machine it is an honest comparison against the unified
 configuration because total resources are identical.
+
+Register-pressure metrics read off each schedule's cached
+:class:`~repro.schedule.analysis_core.ScheduleAnalysis` session (the one
+the engine maintained while scheduling) instead of sweeping the value
+ledger again — one lifetime derivation per schedule, shared with the
+validator and the exports.
 """
 
 from __future__ import annotations
@@ -42,3 +48,34 @@ def speedup(new: float, baseline: float) -> float:
 def percent_gain(new: float, baseline: float) -> float:
     """Percentage improvement, e.g. 23.0 for the paper's headline gain."""
     return (speedup(new, baseline) - 1.0) * 100.0
+
+
+# ----------------------------------------------------------------------
+# Register-pressure metrics (off the shared lifetime analysis)
+# ----------------------------------------------------------------------
+def register_peaks(outcome) -> List[int]:
+    """Per-cluster MaxLives of one schedule outcome.
+
+    Reads the schedule's cached analysis session (modulo schedules) or the
+    uniform zero surface (list schedules).
+    """
+    return outcome.schedule.register_peaks()
+
+
+def peak_register_pressure(outcomes: Iterable) -> int:
+    """Worst single-cluster MaxLives across a set of outcomes."""
+    peak = 0
+    for outcome in outcomes:
+        peaks = register_peaks(outcome)
+        if peaks:
+            peak = max(peak, max(peaks))
+    return peak
+
+
+def total_register_cycles(outcomes: Iterable) -> int:
+    """Summed register-cycles over every modulo-scheduled outcome."""
+    total = 0
+    for outcome in outcomes:
+        if outcome.is_modulo:
+            total += sum(outcome.schedule.register_cycles())
+    return total

@@ -4,9 +4,9 @@ The sequential :mod:`~repro.eval.runner` schedules one loop at a time;
 this module fans the same per-loop work items out over a ``spawn``-safe
 :class:`~concurrent.futures.ProcessPoolExecutor` and merges the outcomes
 back **in suite order**, so results are bit-identical to the sequential
-path regardless of worker count or completion order (scheduling is fully
-deterministic; only the measured ``cpu_seconds`` are wall-clock noise,
-exactly as they are between two sequential runs).
+path regardless of worker count, chunk size or completion order
+(scheduling is fully deterministic; only the measured ``cpu_seconds`` are
+wall-clock noise, exactly as they are between two sequential runs).
 
 Entry points:
 
@@ -16,8 +16,24 @@ Entry points:
   startup cost is amortized over the whole experiment.
 * :func:`run_suite_parallel` — one suite with one scheduler
   (``run_suite(..., jobs=N)`` delegates here).
+* :func:`evaluation_pool` — a context-managed pool that *several*
+  ``run_requests`` calls inside one CLI invocation reuse, so small suites
+  do not pay the spawn cost per call::
+
+      with evaluation_pool(jobs=4) as pool:
+          first = run_requests(requests_a, pool=pool)
+          second = run_requests(requests_b, pool=pool)   # same workers
+
 * :func:`resolve_jobs` — the ``--jobs`` convention: ``None``/``0`` means
   one worker per CPU, ``1`` means the in-process sequential path.
+
+Work items are dispatched in **chunks** of several loops
+(:func:`resolve_chunksize`; ``--chunksize`` on the CLI): one future per
+loop is fine at a few hundred loops, but outcomes are large (~60KB on the
+extended tier) and submission/pickling overhead grows linearly, so
+batching amortizes it on thousands-of-loops tiers.  The merge indexes
+outcomes by their (request, benchmark, loop) key, so chunk boundaries
+never affect results.
 
 A worker that raises — or dies outright, taking the pool down — surfaces
 as a :class:`LoopTaskError` naming the benchmark and loop, instead of a
@@ -30,7 +46,8 @@ import multiprocessing
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..ir.loop import Loop
@@ -64,76 +81,175 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-#: Per-worker scheduler table, installed once by the pool initializer so
-#: tasks only ship a request index instead of re-pickling the scheduler
-#: (and its machine config) for every loop.
-_WORKER_SCHEDULERS: Tuple[BaseScheduler, ...] = ()
+#: Upper bound on the automatic chunk size: chunks stay small enough for
+#: the pool to load-balance even when one loop is much slower than its
+#: neighbours (the extended tier mixes ~32-op and ~280-op bodies).
+_MAX_AUTO_CHUNK = 32
 
 
-def _init_worker(schedulers: Tuple[BaseScheduler, ...]) -> None:
-    global _WORKER_SCHEDULERS
-    _WORKER_SCHEDULERS = schedulers
+def resolve_chunksize(
+    chunksize: Optional[int], total_items: int, jobs: int
+) -> int:
+    """The loops-per-task batch size.
+
+    ``None`` picks the heuristic ``ceil(total / (4 * jobs))`` capped at
+    ``32``: about four waves of chunks per worker, so pickling overhead is
+    amortized without sacrificing load balance.  An explicit value is used
+    as given (``1`` reproduces one-future-per-loop dispatch).
+    """
+    if chunksize is None:
+        return max(1, min(_MAX_AUTO_CHUNK, -(-total_items // (4 * max(1, jobs)))))
+    if chunksize < 1:
+        raise ReproError(f"--chunksize must be >= 1, got {chunksize}")
+    return chunksize
 
 
-def _schedule_loop(request_index: int, loop: Loop) -> ScheduleOutcome:
-    """Worker entry point (module-level: picklable under ``spawn``)."""
-    return _WORKER_SCHEDULERS[request_index].schedule(loop)
+class EvaluationPool:
+    """A lazily spawned, reusable worker pool for ``run_requests`` calls.
+
+    The executor is created on first use and kept alive until
+    :meth:`shutdown`, so several batch calls within one CLI invocation
+    share the same worker processes.  ``jobs == 1`` never spawns anything
+    (callers take the in-process sequential path).
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(cancel_futures=True)
+            self._executor = None
+
+
+@contextmanager
+def evaluation_pool(jobs: Optional[int] = None) -> Iterator[EvaluationPool]:
+    """Context-managed :class:`EvaluationPool` shared across batch calls."""
+    pool = EvaluationPool(jobs)
+    try:
+        yield pool
+    finally:
+        pool.shutdown()
 
 
 #: A work unit key: (request index, benchmark index, loop index).
 _TaskKey = Tuple[int, int, int]
 
 
+class _ChunkItemFailure(Exception):
+    """Worker-side wrapper naming which chunk item raised.
+
+    Both attributes ride in ``args`` so the exception survives the pickle
+    round-trip back to the parent intact.
+    """
+
+    def __init__(self, key: _TaskKey, cause: BaseException) -> None:
+        super().__init__(key, cause)
+        self.key = key
+        self.cause = cause
+
+
+def _run_chunk(
+    scheduler: BaseScheduler, items: Sequence[Tuple[_TaskKey, Loop]]
+) -> List[Tuple[_TaskKey, ScheduleOutcome]]:
+    """Worker entry point (module-level: picklable under ``spawn``)."""
+    out: List[Tuple[_TaskKey, ScheduleOutcome]] = []
+    for key, loop in items:
+        try:
+            out.append((key, scheduler.schedule(loop)))
+        except Exception as error:
+            raise _ChunkItemFailure(key, error) from error
+    return out
+
+
 def run_requests(
     requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool: Optional[EvaluationPool] = None,
 ) -> List[SuiteResult]:
     """Evaluate every ``(scheduler, suite)`` request, sharing one pool.
 
     Returns one :class:`SuiteResult` per request, in request order, with
     benchmarks and loop outcomes in their original suite order — the
-    merge is deterministic no matter how the pool interleaves work.
+    merge is deterministic no matter how the pool interleaves or chunks
+    the work.  With ``pool`` the caller's shared :class:`EvaluationPool`
+    is reused (its worker count wins over ``jobs``) and left running on
+    return; note a failed run may leave already-submitted chunks draining
+    in a shared pool, and a *died* worker breaks the pool for later calls.
     """
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     if jobs == 1:
         return [run_suite(list(suite), scheduler) for scheduler, suite in requests]
 
+    flat: List[List[Tuple[_TaskKey, Loop]]] = []
+    for r, (_scheduler, suite) in enumerate(requests):
+        flat.append(
+            [
+                ((r, b, i), loop)
+                for b, benchmark in enumerate(suite)
+                for i, loop in enumerate(benchmark.loops)
+            ]
+        )
+    total_items = sum(len(items) for items in flat)
+    size = resolve_chunksize(chunksize, total_items, jobs)
+
     outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
-    context = multiprocessing.get_context("spawn")
-    futures: Dict[object, _TaskKey] = {}
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(tuple(scheduler for scheduler, _ in requests),),
-    ) as pool:
+    owns_pool = pool is None
+    if owns_pool:
+        pool = EvaluationPool(jobs)
+    futures: Dict[object, List[_TaskKey]] = {}
+    try:
+        executor = pool.executor()
         try:
             # Submission sits inside the try: a worker dying mid-submit
-            # makes pool.submit itself raise BrokenProcessPool.
-            for r, (scheduler, suite) in enumerate(requests):
-                for b, benchmark in enumerate(suite):
-                    for i, loop in enumerate(benchmark.loops):
-                        futures[pool.submit(_schedule_loop, r, loop)] = (r, b, i)
+            # makes executor.submit itself raise BrokenProcessPool.
+            for r, (scheduler, _suite) in enumerate(requests):
+                items = flat[r]
+                for start in range(0, len(items), size):
+                    chunk = items[start : start + size]
+                    future = executor.submit(_run_chunk, scheduler, chunk)
+                    futures[future] = [key for key, _loop in chunk]
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
             for future in done:
                 error = future.exception()
                 if error is not None:
-                    raise _task_error(requests, futures[future], error)
-                outcomes[futures[future]] = future.result()
+                    if isinstance(error, _ChunkItemFailure):
+                        raise _task_error(requests, error.key, error.cause)
+                    raise _task_error(requests, futures[future][0], error)
+                for key, outcome in future.result():
+                    outcomes[key] = outcome
             if not_done:  # pragma: no cover - only on FIRST_EXCEPTION exit
                 raise _task_error(
                     requests,
-                    futures[next(iter(not_done))],
+                    futures[next(iter(not_done))][0],
                     RuntimeError("cancelled after another task failed"),
                 )
         except BrokenProcessPool as error:
             # A worker died (segfault, os._exit, OOM kill): name the work
             # that cannot have completed rather than surfacing the bare
             # pool failure.
-            pending = sorted(key for key in futures.values() if key not in outcomes)
-            raise _task_error(requests, pending[0] if pending else (0, 0, 0), error) from error
-        finally:
-            pool.shutdown(cancel_futures=True)
+            pending = sorted(
+                key
+                for keys in futures.values()
+                for key in keys
+                if key not in outcomes
+            )
+            raise _task_error(
+                requests, pending[0] if pending else (0, 0, 0), error
+            ) from error
+    finally:
+        if owns_pool:
+            pool.shutdown()
 
     results = []
     for r, (scheduler, suite) in enumerate(requests):
@@ -173,6 +289,8 @@ def run_suite_parallel(
     suite: Sequence[Benchmark],
     scheduler: BaseScheduler,
     jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    pool: Optional[EvaluationPool] = None,
 ) -> SuiteResult:
     """Parallel counterpart of :func:`~repro.eval.runner.run_suite`.
 
@@ -180,4 +298,6 @@ def run_suite_parallel(
     the sequential path) this function exists to parallelize, so its
     default ``jobs=None`` means one worker per CPU.
     """
-    return run_requests([(scheduler, suite)], jobs=jobs)[0]
+    return run_requests(
+        [(scheduler, suite)], jobs=jobs, chunksize=chunksize, pool=pool
+    )[0]

@@ -61,6 +61,17 @@ class BenchmarkResult:
             return 0.0
         return sum(1 for o in self.outcomes if o.is_modulo) / len(self.outcomes)
 
+    @property
+    def peak_registers(self) -> int:
+        """Worst single-cluster MaxLives over the benchmark's loops.
+
+        Read off each schedule's cached lifetime analysis (see
+        :mod:`repro.eval.metrics`), not a fresh ledger sweep.
+        """
+        from .metrics import peak_register_pressure
+
+        return peak_register_pressure(self.outcomes)
+
 
 def run_benchmark(
     benchmark: Benchmark, scheduler: BaseScheduler
@@ -98,6 +109,8 @@ def run_suite(
     suite: Sequence[Benchmark],
     scheduler: BaseScheduler,
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    pool=None,
 ) -> SuiteResult:
     """Schedule the whole suite with one scheduler instance.
 
@@ -105,11 +118,15 @@ def run_suite(
     in-process and sequentially; any other value dispatches the per-loop
     work items to a worker pool (see :mod:`repro.eval.parallel`) with a
     deterministic merge, so the result is bit-identical either way.
+    ``chunksize`` batches several loops per work item and ``pool`` reuses
+    an :func:`~repro.eval.parallel.evaluation_pool` across calls.
     """
-    if jobs != 1:
+    if jobs != 1 or pool is not None:
         from .parallel import run_suite_parallel
 
-        return run_suite_parallel(suite, scheduler, jobs=jobs)
+        return run_suite_parallel(
+            suite, scheduler, jobs=jobs, chunksize=chunksize, pool=pool
+        )
     result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
     for benchmark in suite:
         result.per_benchmark[benchmark.name] = run_benchmark(benchmark, scheduler)

@@ -376,8 +376,10 @@ class PartitionEstimator:
         )
 
     #: Whether refiners may score candidate moves through
-    #: :meth:`estimate_preview` (subclasses that need the full assignment,
-    #: like the pressure-aware estimator, opt out).
+    #: :meth:`estimate_preview`.  Subclasses whose objective cannot be
+    #: previewed from deltas should set this False; the pressure-aware
+    #: estimator keeps it True by pairing its penalty with a
+    #: delta-maintained session (see :mod:`repro.partition.pressure`).
     supports_preview = True
 
     def estimate_preview(
@@ -551,6 +553,12 @@ class CommState:
     transfer pairs, cut slack and per-cluster memory-route usage — but
     updated per moved operation instead of per edge.  :meth:`verify`
     cross-checks against the full sweep and is exercised by the tests.
+
+    Subclasses may piggyback further delta-maintained quantities on the
+    same move stream — :class:`~repro.partition.pressure.PressureCommState`
+    keeps the register-pressure session of the pressure-aware estimator in
+    step this way, which is what lets that estimator support the refiner's
+    preview fast path.
     """
 
     __slots__ = (

@@ -1,5 +1,6 @@
 """Modulo scheduling: engine, policies, drivers, fallback, validation."""
 
+from .analysis_core import ScheduleAnalysis
 from .expand import ExpandedSchedule, expand, render_kernel
 from .drivers import (
     SCHEDULERS,
@@ -55,6 +56,7 @@ __all__ = [
     "PressureTracker",
     "ReservationTable",
     "SCHEDULERS",
+    "ScheduleAnalysis",
     "ScheduleOutcome",
     "ScheduleStats",
     "SchedulingEngine",

@@ -130,6 +130,11 @@ class BaseScheduler:
             found.stats.partitions_computed = getattr(
                 self, "_partitions_computed", 0
             )
+            if self.options.validate_schedules:
+                # Paranoid end-to-end mode (CLI --verify): rebuild the
+                # lifetime analysis from the raw ledger and cross-check it
+                # against the engine-attached session.
+                found.validate(full_recheck=True)
             schedule = found
         else:
             schedule = list_schedule(loop, self.machine)

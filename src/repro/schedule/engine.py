@@ -39,9 +39,12 @@ the engine keeps two implementations of the register accounting:
   from the value states.  It stays the validator's source of truth and is
   what the independent schedule validation uses.
 * The **incremental** path — :class:`~repro.schedule.pressure.PressureTracker`
-  — mirrors the committed values with a per-cluster pressure ring
-  (``counts[cluster][m]`` over the II kernel cycles) and running
-  register-cycle totals.  A candidate evaluation applies only the *delta
+  (the engine-facing name of the shared
+  :class:`~repro.schedule.analysis_core.ScheduleAnalysis` session, which
+  the finished :class:`~repro.schedule.result.ModuloSchedule` then carries
+  for its validator and the eval metrics) — mirrors the committed values
+  with a per-cluster pressure ring (``counts[cluster][m]`` over the II
+  kernel cycles) and running register-cycle totals.  A candidate evaluation applies only the *delta
   segments* of the values its routes touch (plus the would-be new value),
   reads the ring peaks and totals, and rolls the delta back exactly —
   O(routes) instead of O(all values) per candidate.  Commits, spills
@@ -221,6 +224,10 @@ class EngineOptions:
     #: recompute after every commit, spill and candidate rollback (slow;
     #: used by the equivalence tests).
     verify_pressure: bool = False
+    #: Drivers re-validate every modulo schedule they produce with
+    #: ``validate(full_recheck=True)`` before returning it (slow; the CLI's
+    #: ``--verify`` paranoid mode and the CI smoke job turn this on).
+    validate_schedules: bool = False
 
 
 class SchedulingEngine:
@@ -242,7 +249,6 @@ class SchedulingEngine:
         self.ddg = loop.ddg
         self.table = ReservationTable(machine, ii)
         self.placements: Dict[int, Placed] = {}
-        self.values: Dict[int, ValueState] = {}
         self.aux_ops: List[AuxOp] = []
         self.stats = ScheduleStats()
         self._analysis = analyze(self.ddg, ii)
@@ -251,7 +257,11 @@ class SchedulingEngine:
         self._failure_reasons: Dict[int, Set[str]] = {}
         # Incremental register accounting (see the module docstring) plus
         # per-cluster constants the hot path would otherwise re-derive.
+        # The analysis session owns the value ledger; on success the very
+        # same session is attached to the ModuloSchedule so the validator
+        # and the evaluation metrics reuse its segments and rings.
         self.pressure = PressureTracker(ii, machine.num_clusters)
+        self.values: Dict[int, ValueState] = self.pressure.values
         self._registers = [
             machine.cluster(c).registers for c in range(machine.num_clusters)
         ]
@@ -278,7 +288,7 @@ class SchedulingEngine:
         for uid in sms_order(self.ddg, self.ii):
             if not self._schedule_node(uid):
                 return None
-        return ModuloSchedule(
+        schedule = ModuloSchedule(
             loop=self.loop,
             machine=self.machine,
             ii=self.ii,
@@ -287,6 +297,11 @@ class SchedulingEngine:
             aux_ops=list(self.aux_ops),
             stats=self.stats,
         )
+        # Hand the maintained lifetime analysis over: validate() and the
+        # eval metrics read its cached segments/rings instead of
+        # re-deriving every lifetime from the ledger.
+        schedule.attach_analysis(self.pressure)
+        return schedule
 
     def _schedule_node(self, uid: int) -> bool:
         # The dependence window and the routed-dependence lists are functions

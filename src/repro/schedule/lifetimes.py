@@ -10,6 +10,13 @@ for modulo-schedule register allocation.
 
 Zero-length intervals still consume a register for one cycle (a produced
 value exists at least until the writeback).
+
+These pure functions are the *reference* accounting.  The incremental
+mirror every hot path uses — and the one finished schedules carry for
+their validator and metrics — is the
+:class:`~repro.schedule.analysis_core.ScheduleAnalysis` session, which
+goes through :func:`add_segment_to_ring` below for all of its ring
+arithmetic so the two cannot drift apart.
 """
 
 from __future__ import annotations

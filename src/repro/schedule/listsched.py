@@ -42,6 +42,15 @@ class ListSchedule:
         niter = self.loop.trip_count if trip_count is None else trip_count
         return niter * self.loop.num_operations / cycles
 
+    def register_peaks(self) -> List[int]:
+        """Uniform register-stats surface with :class:`ModuloSchedule`.
+
+        Iterations run back to back, so no modulo-overlap register model
+        applies; the eval metrics treat list-scheduled loops as exerting
+        no steady-state pressure.
+        """
+        return [0] * self.machine.num_clusters
+
 
 def list_schedule(loop: Loop, machine: MachineConfig) -> ListSchedule:
     """Greedy list schedule of one iteration on the clustered machine.

@@ -3,23 +3,17 @@
 The engine's inner loop evaluates thousands of candidate (cluster, cycle)
 placements per loop; rebuilding the full lifetime picture for every
 candidate (``value_segments`` over *all* values, then ``register_cycles``
-and ``max_live``) makes each evaluation O(all values).  This module keeps
-the same quantities *incrementally*:
+and ``max_live``) makes each evaluation O(all values).  The incremental
+session that avoids this — per-cluster pressure rings, running
+register-cycle totals, per-value segment caches, O(routes) candidate
+previews — now lives in :mod:`repro.schedule.analysis_core` as
+:class:`~repro.schedule.analysis_core.ScheduleAnalysis`, because the same
+session is shared with the schedule validator and the evaluation metrics
+after the attempt finishes (see that module's docstring).
 
-* ``counts[cluster][m]`` — the per-cluster pressure ring: live values at
-  each of the II kernel cycles (exactly
-  :func:`~repro.schedule.lifetimes.pressure_by_cycle` of the committed
-  values);
-* ``reg_cycles[cluster]`` — running register-cycle totals (exactly
-  :func:`~repro.schedule.lifetimes.register_cycles`).
-
-Each tracked value caches its current :class:`LiveSegment` list; when the
-engine mutates a value (a new use, a bus transfer, a communication store, a
-spill truncating the home lifetime, a dead-transfer release), the tracker
-re-derives that one value's segments and applies the *delta* — so a
-candidate evaluation costs O(routes), not O(all values).  Apply and
-rollback are exact inverse integer updates, so previewing a candidate and
-rolling it back restores the committed state bit-for-bit.
+This module keeps the engine-facing name — :class:`PressureTracker` *is*
+``ScheduleAnalysis`` — plus :class:`PressurePreview`, the scoped
+apply/rollback convenience used by the equivalence tests.
 
 The pure functions in :mod:`repro.schedule.lifetimes` and
 :mod:`repro.schedule.values` stay the reference implementation (and the
@@ -30,169 +24,14 @@ the incremental state against them and is wired into the engine behind
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
-from .lifetimes import (
-    LiveSegment,
-    add_segment_to_ring,
-    pressure_by_cycle,
-    register_cycles,
-)
-from .values import ValueState, segments_of_value, value_segments
+from .analysis_core import ScheduleAnalysis
+from .lifetimes import LiveSegment
+from .values import ValueState
 
-
-class PressureTracker:
-    """Per-cluster pressure ring + register-cycle totals, kept by delta.
-
-    The tracker mirrors the committed value set of one
-    :class:`~repro.schedule.engine.SchedulingEngine`.  Candidate previews
-    temporarily push a value's mutated segments (and a would-be new value)
-    and are rolled back with :meth:`set_segments` / :meth:`forget`.
-    """
-
-    def __init__(self, ii: int, num_clusters: int) -> None:
-        self.ii = ii
-        self.num_clusters = num_clusters
-        #: counts[cluster][m] — live values at kernel cycle ``m``.
-        self.counts: List[List[int]] = [[0] * ii for _ in range(num_clusters)]
-        #: Running register-cycle totals per cluster.
-        self.reg_cycles: List[int] = [0] * num_clusters
-        # producer uid -> the segment list currently folded into the rings.
-        # Lists are always *replaced*, never mutated in place, so a caller
-        # may hold one as a rollback snapshot.
-        self._segments: Dict[int, List[LiveSegment]] = {}
-
-    # ------------------------------------------------------------------
-    # Ring arithmetic
-    # ------------------------------------------------------------------
-    def _apply(self, segments: Iterable[LiveSegment], sign: int) -> None:
-        ii = self.ii
-        for seg in segments:
-            length = seg.length
-            add_segment_to_ring(self.counts[seg.cluster], seg.birth, length, ii, sign)
-            self.reg_cycles[seg.cluster] += sign * length
-
-    # ------------------------------------------------------------------
-    # Committed-state maintenance
-    # ------------------------------------------------------------------
-    def track(self, value: ValueState) -> None:
-        """Start tracking a newly committed value."""
-        segments = segments_of_value(value)
-        self._apply(segments, +1)
-        self._segments[value.producer] = segments
-
-    def update(self, value: ValueState) -> None:
-        """Re-derive one value's segments after a mutation; apply the delta."""
-        old = self._segments.get(value.producer)
-        new = segments_of_value(value)
-        if old is not None:
-            self._apply(old, -1)
-        self._apply(new, +1)
-        self._segments[value.producer] = new
-
-    def set_segments(self, producer: int, segments: List[LiveSegment]) -> None:
-        """Restore a value's folded-in segments to a snapshot (rollback)."""
-        old = self._segments.get(producer)
-        if old is not None:
-            self._apply(old, -1)
-        self._apply(segments, +1)
-        self._segments[producer] = segments
-
-    def forget(self, producer: int) -> None:
-        """Stop tracking a value (rollback of a previewed new value)."""
-        old = self._segments.pop(producer, None)
-        if old is not None:
-            self._apply(old, -1)
-
-    def segments_of(self, producer: int) -> Sequence[LiveSegment]:
-        """The segment list currently folded in for ``producer``."""
-        return self._segments.get(producer, ())
-
-    # ------------------------------------------------------------------
-    # Candidate preview (no mutation)
-    # ------------------------------------------------------------------
-    def preview_effect(
-        self,
-        changes: Sequence[Tuple[Sequence[LiveSegment], int]],
-        registers: Sequence[int],
-        committed_peaks: Sequence[int],
-    ) -> Tuple[List[int], bool]:
-        """(register-cycle delta per cluster, fits) for a segment delta.
-
-        ``changes`` is a list of (segments, ±1) pairs — the candidate's
-        removed and added segments.  Only the touched clusters' rings are
-        copied and re-peaked; untouched clusters reuse ``committed_peaks``
-        (the committed state may legitimately overflow after a spill, so
-        every cluster must be checked).  The live state is never mutated,
-        so there is nothing to roll back.
-        """
-        ii = self.ii
-        delta = [0] * self.num_clusters
-        rows: Dict[int, List[int]] = {}
-        counts = self.counts
-        for segments, sign in changes:
-            for seg in segments:
-                cluster = seg.cluster
-                row = rows.get(cluster)
-                if row is None:
-                    row = counts[cluster][:]
-                    rows[cluster] = row
-                length = seg.length
-                add_segment_to_ring(row, seg.birth, length, ii, sign)
-                delta[cluster] += sign * length
-        for cluster in range(self.num_clusters):
-            row = rows.get(cluster)
-            peak = max(row) if row is not None else committed_peaks[cluster]
-            if peak > registers[cluster]:
-                return delta, False
-        return delta, True
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def peaks(self) -> List[int]:
-        """MaxLives per cluster of the tracked state."""
-        return [max(row) if row else 0 for row in self.counts]
-
-    def fits(self, registers: Sequence[int]) -> bool:
-        """True if every cluster's peak is within its register file."""
-        counts = self.counts
-        for cluster in range(self.num_clusters):
-            if max(counts[cluster], default=0) > registers[cluster]:
-                return False
-        return True
-
-    # ------------------------------------------------------------------
-    # Cross-check against the reference implementation
-    # ------------------------------------------------------------------
-    def verify(self, values: Iterable[ValueState]) -> None:
-        """Assert the incremental state equals the full recompute.
-
-        Raises :class:`AssertionError` naming the first mismatching
-        quantity.  This is the escape hatch that keeps the O(routes) fast
-        path honest against the pure functions the validator trusts.
-        """
-        values = list(values)
-        segments = value_segments(values)
-        ref_counts = pressure_by_cycle(segments, self.ii, self.num_clusters)
-        ref_cycles = register_cycles(segments, self.num_clusters)
-        if self.counts != ref_counts:
-            raise AssertionError(
-                f"pressure ring diverged: incremental {self.counts} "
-                f"!= reference {ref_counts}"
-            )
-        if self.reg_cycles != ref_cycles:
-            raise AssertionError(
-                f"register-cycle totals diverged: incremental "
-                f"{self.reg_cycles} != reference {ref_cycles}"
-            )
-        tracked = set(self._segments)
-        committed = {v.producer for v in values}
-        if tracked != committed:
-            raise AssertionError(
-                f"tracked value set diverged: {sorted(tracked)} "
-                f"!= {sorted(committed)}"
-            )
+#: The engine-facing name of the shared analysis session.
+PressureTracker = ScheduleAnalysis
 
 
 class PressurePreview:

@@ -7,30 +7,38 @@ the scheduler inserted (spill stores/loads, communication stores/loads), the
 bus transfers, and the value-use ledger from which register lifetimes
 derive.
 
-:meth:`ModuloSchedule.validate` re-checks the whole schedule from scratch —
-every dependence (including the communication evidence for cross-cluster
+:meth:`ModuloSchedule.validate` re-checks the whole schedule — every
+dependence (including the communication evidence for cross-cluster
 values), every functional-unit and bus capacity, and the per-cluster
 MaxLives register bound — raising
 :class:`~repro.errors.ValidationError` on any violation.  The test suite
 property-tests that every scheduler's output validates.
+
+Register lifetimes come from the schedule's
+:class:`~repro.schedule.analysis_core.ScheduleAnalysis` session: the
+engine attaches the very session it maintained while scheduling, so
+``validate()`` reads cached peaks instead of re-deriving every lifetime —
+the dominant cost on big sweeps.  ``validate(full_recheck=True)`` is the
+paranoid mode: it rebuilds the analysis from the raw value ledger, raises
+if a cached session diverged from that rebuild, and validates against the
+rebuild — the default for the property-test suite, opt-in for sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ValidationError
 from ..ir.ddg import DepKind
 from ..ir.loop import Loop
 from ..ir.opcodes import OpClass
 from ..machine.config import MachineConfig
-from .lifetimes import max_live
+from .analysis_core import ScheduleAnalysis
 from .values import (
     LOAD_LATENCY,
     STORE_LATENCY,
     ValueState,
-    value_segments,
 )
 
 
@@ -79,6 +87,44 @@ class ModuloSchedule:
     aux_ops: List[AuxOp] = field(default_factory=list)
     stats: ScheduleStats = field(default_factory=ScheduleStats)
     scheduler_name: str = ""
+
+    def __post_init__(self) -> None:
+        self._analysis: Optional[ScheduleAnalysis] = None
+
+    # ------------------------------------------------------------------
+    # Shared lifetime analysis
+    # ------------------------------------------------------------------
+    @property
+    def analysis(self) -> ScheduleAnalysis:
+        """The schedule's lifetime-analysis session (built once, cached).
+
+        The engine attaches the session it maintained during scheduling;
+        schedules without one (deserialized, hand-built) derive it lazily
+        from the raw value ledger.  Everything register-shaped — the
+        validator, :meth:`register_peaks`, the evaluation metrics and
+        exports — reads off this one session.
+        """
+        if self._analysis is None:
+            self._analysis = ScheduleAnalysis.from_values(
+                self.values, self.ii, self.machine.num_clusters
+            )
+        return self._analysis
+
+    def attach_analysis(self, analysis: ScheduleAnalysis) -> None:
+        """Adopt an engine-maintained analysis session as the cache."""
+        if analysis.ii != self.ii:
+            raise ValueError(
+                f"analysis computed at II {analysis.ii}, schedule has {self.ii}"
+            )
+        self._analysis = analysis
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The analysis is derived state: drop it so pickled schedules
+        # (worker -> parent transfers in the parallel runner) stay small;
+        # the receiver rebuilds it lazily and bit-identically.
+        state = dict(self.__dict__)
+        state["_analysis"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Shape metrics
@@ -133,23 +179,33 @@ class ModuloSchedule:
         return niter * self.loop.num_operations / cycles
 
     def register_peaks(self) -> List[int]:
-        """MaxLives per cluster."""
-        return max_live(
-            value_segments(self.values.values()),
-            self.ii,
-            self.machine.num_clusters,
-        )
+        """MaxLives per cluster (off the cached analysis session)."""
+        return self.analysis.peaks()
+
+    def register_cycles(self) -> List[int]:
+        """Total register-cycles per cluster (off the cached analysis)."""
+        return list(self.analysis.reg_cycles)
 
     # ------------------------------------------------------------------
     # Independent validation
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Re-verify dependences, resources and registers from scratch."""
+    def validate(self, full_recheck: bool = False) -> None:
+        """Re-verify dependences, resources and registers.
+
+        Dependences, communication evidence, functional units and buses
+        are always checked from the raw schedule.  The register bound
+        reads the cached :attr:`analysis` session; with
+        ``full_recheck=True`` the lifetimes are rebuilt from the raw
+        value ledger instead, and a cached session that diverged from
+        that rebuild is itself a validation failure (stale or corrupted
+        analysis).  Property tests run the paranoid mode; big sweeps use
+        the cached default.
+        """
         self._validate_placements()
         self._validate_dependences()
         self._validate_functional_units()
         self._validate_buses()
-        self._validate_registers()
+        self._validate_registers(full_recheck)
 
     def _validate_placements(self) -> None:
         for uid in self.loop.ddg.uids():
@@ -262,8 +318,19 @@ class ModuloSchedule:
                     f"bus {bus} double-booked at kernel cycle {cycle}"
                 )
 
-    def _validate_registers(self) -> None:
-        peaks = self.register_peaks()
+    def _validate_registers(self, full_recheck: bool = False) -> None:
+        analysis = self._analysis
+        if full_recheck or analysis is None:
+            reference = ScheduleAnalysis.from_values(
+                self.values, self.ii, self.machine.num_clusters
+            )
+            if full_recheck and analysis is not None and not analysis.matches(reference):
+                raise ValidationError(
+                    "cached lifetime analysis diverged from the raw value "
+                    "ledger (stale or corrupted ScheduleAnalysis session)"
+                )
+            analysis = self._analysis = reference
+        peaks = analysis.peaks()
         for cluster in range(self.machine.num_clusters):
             limit = self.machine.cluster(cluster).registers
             if peaks[cluster] > limit:

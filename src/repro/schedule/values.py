@@ -13,6 +13,10 @@ or ``"mem"`` (an inserted load reads the spilled/communicated value from
 memory).  Register lifetimes — the input to the MaxLives register
 allocator — are derived purely from these records by :func:`value_segments`,
 so the scheduler and the independent validator share one source of truth.
+The shared :class:`~repro.schedule.analysis_core.ScheduleAnalysis` session
+caches each value's :func:`segments_of_value` list and maintains the
+derived pressure rings by delta; these pure functions remain the reference
+it is cross-checked against.
 
 All times are absolute issue cycles; ``read_time`` of a consumer at issue
 cycle ``t`` reading across ``distance`` iterations is ``t + II * distance``.

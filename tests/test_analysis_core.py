@@ -1,0 +1,327 @@
+"""Property tests for the shared lifetime-analysis core.
+
+Two contracts are enforced here:
+
+* ``ModuloSchedule.validate()`` — which reads the cached
+  :class:`~repro.schedule.analysis_core.ScheduleAnalysis` session — must
+  accept and reject *exactly* like ``validate(full_recheck=True)``, which
+  rebuilds lifetimes from the raw value ledger (the seed's from-scratch
+  behaviour), including on mutated/corrupted schedules; and a cached
+  session that went stale against the ledger must be caught by the
+  full recheck.
+* The partition layer's delta-maintained pressure session
+  (:class:`~repro.partition.pressure.PressureState` and its previews)
+  must match the from-scratch :func:`estimate_register_pressure`
+  derivation exactly — including on extended-tier-sized loop bodies —
+  and the pressure-aware ablation's preview scoring must produce
+  bit-identical partitions to apply-and-undo scoring.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.machine.presets import four_cluster, two_cluster
+from repro.partition.partitioner import MultilevelPartitioner
+from repro.partition.pressure import (
+    PressureAwareEstimator,
+    PressureCommState,
+    PressureState,
+    estimate_register_pressure,
+)
+from repro.schedule.analysis_core import ScheduleAnalysis
+from repro.schedule.drivers import GPScheduler, UracamScheduler
+from repro.schedule.mii import mii
+from repro.schedule.result import ModuloSchedule, Placed
+from repro.schedule.values import Use
+from repro.workloads.generator import LoopShape, generate_loop
+
+loop_shapes = st.builds(
+    LoopShape,
+    num_operations=st.integers(min_value=6, max_value=24),
+    mem_ratio=st.floats(min_value=0.1, max_value=0.6),
+    depth_bias=st.floats(min_value=0.0, max_value=0.9),
+    recurrences=st.integers(min_value=0, max_value=2),
+    trip_count=st.integers(min_value=20, max_value=300),
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _clone(sched: ModuloSchedule) -> ModuloSchedule:
+    """A structurally identical schedule with *no* cached analysis."""
+    return ModuloSchedule(
+        loop=sched.loop,
+        machine=sched.machine,
+        ii=sched.ii,
+        placements=dict(sched.placements),
+        values=dict(sched.values),
+        aux_ops=list(sched.aux_ops),
+        stats=sched.stats,
+    )
+
+
+def _outcome(shape, seed, scheduler_cls=GPScheduler, machine=None):
+    loop = generate_loop("analysis-core", shape, seed)
+    machine = machine or two_cluster(32)
+    return scheduler_cls(machine).schedule(loop)
+
+
+# ----------------------------------------------------------------------
+# Cached validate() == from-scratch validate(full_recheck=True)
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_cached_validate_accepts_like_full_recheck(shape, seed):
+    outcome = _outcome(shape, seed)
+    if not outcome.is_modulo:
+        return
+    sched = outcome.schedule
+    # The engine attached its live session; both paths must accept.
+    assert sched._analysis is not None
+    sched.validate()
+    sched.validate(full_recheck=True)
+    # A cache-less clone derives the same analysis lazily.
+    clone = _clone(sched)
+    clone.validate()
+    assert clone.register_peaks() == sched.register_peaks()
+    assert clone.register_cycles() == sched.register_cycles()
+
+
+def _corrupt(rng: random.Random, sched: ModuloSchedule) -> str:
+    """Apply one random structural corruption in place; returns its name."""
+    choice = rng.randrange(5)
+    if choice == 4:
+        # Register-bound corruption: stretch one lifetime far past the
+        # register file so only the MaxLives check can catch it.
+        for value in sched.values.values():
+            if value.uses:
+                use = value.uses[0]
+                value.uses[0] = Use(
+                    use.consumer, use.cluster, use.read_time + 1000,
+                    use.route, use.load_time,
+                )
+                return "stretch a lifetime"
+        return "noop"
+    if choice == 0:
+        uid = rng.choice(sorted(sched.placements))
+        placed = sched.placements[uid]
+        sched.placements[uid] = Placed(placed.cluster, placed.time - rng.randrange(1, 50))
+        return "shift placement early"
+    if choice == 1:
+        uid = rng.choice(sorted(sched.placements))
+        del sched.placements[uid]
+        return "drop placement"
+    if choice == 2:
+        for value in sched.values.values():
+            if value.transfers:
+                value.transfers.clear()
+                return "strip transfers"
+        return "noop"
+    for value in sched.values.values():
+        if value.uses:
+            value.uses.pop()
+            return "drop a use record"
+    return "noop"
+
+
+@settings(max_examples=12, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_cached_validate_rejects_like_full_recheck(shape, seed):
+    outcome = _outcome(shape, seed)
+    if not outcome.is_modulo:
+        return
+    rng = random.Random(seed)
+    # Corrupt a cache-less clone so both paths analyze the same (broken)
+    # raw ledger, then compare their verdicts.
+    broken = _clone(outcome.schedule)
+    what = _corrupt(rng, broken)
+    if what == "noop":
+        return
+    cached_error = full_error = None
+    try:
+        _clone(broken).validate()
+    except ValidationError as error:
+        cached_error = error
+    try:
+        _clone(broken).validate(full_recheck=True)
+    except ValidationError as error:
+        full_error = error
+    assert (cached_error is None) == (full_error is None), (
+        f"divergent verdicts after {what!r}: cached={cached_error} "
+        f"full={full_error}"
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_full_recheck_catches_stale_cached_analysis(shape, seed):
+    outcome = _outcome(shape, seed)
+    if not outcome.is_modulo:
+        return
+    sched = outcome.schedule
+    assert sched._analysis is not None
+    # Mutate the ledger *behind* the cached session: the paranoid mode
+    # must notice the divergence even though no bound is exceeded.
+    value = next(iter(sched.values.values()))
+    value.uses.append(Use(10_000, value.home, value.birth + 200, "reg"))
+    with pytest.raises(ValidationError):
+        sched.validate(full_recheck=True)
+
+
+def test_analysis_session_matches_reference_rebuild():
+    outcome = _outcome(
+        LoopShape(40, mem_ratio=0.3, depth_bias=0.35, recurrences=1,
+                  trip_count=150),
+        seed=11,
+        scheduler_cls=UracamScheduler,
+        machine=four_cluster(32),
+    )
+    assert outcome.is_modulo
+    session = outcome.schedule.analysis
+    rebuilt = session.rebuild()
+    assert session.matches(rebuilt)
+    session.verify()
+    assert session.peaks() == rebuilt.peaks()
+    assert session.reg_cycles == rebuilt.reg_cycles
+
+
+def test_attach_analysis_rejects_mismatched_ii():
+    outcome = _outcome(
+        LoopShape(12, mem_ratio=0.3, depth_bias=0.3, trip_count=50), seed=3
+    )
+    assert outcome.is_modulo
+    sched = outcome.schedule
+    with pytest.raises(ValueError):
+        sched.attach_analysis(
+            ScheduleAnalysis(sched.ii + 1, sched.machine.num_clusters)
+        )
+
+
+# ----------------------------------------------------------------------
+# Partition-layer pressure sessions == from-scratch derivation
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(shape=loop_shapes, seed=seeds, clusters=st.sampled_from([2, 4]))
+def test_pressure_state_matches_reference_under_random_moves(
+    shape, seed, clusters
+):
+    loop = generate_loop("pstate", shape, seed)
+    machine = two_cluster(64) if clusters == 2 else four_cluster(64)
+    estimator = PressureAwareEstimator(loop, machine, ii=mii(loop, machine))
+    rng = random.Random(seed)
+    uids = loop.ddg.uids()
+    assignment = {uid: rng.randrange(clusters) for uid in uids}
+    state = PressureState(estimator, assignment)
+    state.verify(assignment)
+
+    for _ in range(8):
+        moved = rng.sample(uids, k=min(len(uids), rng.randrange(1, 4)))
+        target = rng.randrange(clusters)
+        # Preview first: it must predict exactly what the move produces.
+        home_life, remote = state.preview_moves([(moved, target)])
+        for uid in moved:
+            assignment[uid] = target
+        state.move_uids(moved, target)
+        state.verify(assignment)
+        assert home_life == state.home_life
+        assert remote == state.remote
+        assert state.pressure() == estimate_register_pressure(
+            loop, assignment, estimator.ii
+        )
+
+
+def test_pressure_state_exact_on_extended_tier_body():
+    """The delta session stays exact on a production-scale (>200-op) body."""
+    loop = generate_loop(
+        "pstate-big",
+        LoopShape(220, mem_ratio=0.3, depth_bias=0.4, recurrences=2,
+                  trip_count=200),
+        seed=17,
+    )
+    machine = four_cluster(32)
+    estimator = PressureAwareEstimator(loop, machine, ii=mii(loop, machine))
+    rng = random.Random(17)
+    uids = loop.ddg.uids()
+    assignment = {uid: rng.randrange(4) for uid in uids}
+    state = PressureState(estimator, assignment)
+    for _ in range(20):
+        moved = rng.sample(uids, k=rng.randrange(1, 6))
+        target = rng.randrange(4)
+        for uid in moved:
+            assignment[uid] = target
+        state.move_uids(moved, target)
+    state.verify(assignment)
+    assert state.pressure() == estimate_register_pressure(
+        loop, assignment, estimator.ii
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_pressure_comm_state_estimates_agree_every_path(shape, seed):
+    """estimate(), estimate(comm_state) and estimate_preview() all agree."""
+    loop = generate_loop("pcomm", shape, seed)
+    machine = four_cluster(32)
+    estimator = PressureAwareEstimator(loop, machine, ii=mii(loop, machine))
+    rng = random.Random(seed)
+    uids = loop.ddg.uids()
+    assignment = {uid: rng.randrange(4) for uid in uids}
+    session = estimator.comm_session(assignment)
+    assert isinstance(session, PressureCommState)
+    session.verify(assignment)
+
+    for _ in range(5):
+        moved = rng.sample(uids, k=min(len(uids), rng.randrange(1, 3)))
+        target = rng.randrange(4)
+        records = session.records_for(moved)
+        preview = estimator.estimate_preview(
+            session.preview_moves([(moved, records, target)]),
+            cluster_class_counts=_counts_after(loop, assignment, moved,
+                                               target, machine),
+        )
+        for uid in moved:
+            assignment[uid] = target
+        session.move_uids(moved, target, records)
+        session.verify(assignment)
+        reference = estimator.estimate(assignment)
+        assert preview == reference
+        with_state = estimator.estimate(assignment, comm_state=session)
+        assert with_state == reference
+
+
+def _counts_after(loop, assignment, moved, target, machine):
+    from repro.partition.estimator import _CLASS_INDEX
+
+    after = dict(assignment)
+    for uid in moved:
+        after[uid] = target
+    counts = [[0] * len(_CLASS_INDEX) for _ in range(machine.num_clusters)]
+    for uid in loop.ddg.uids():
+        counts[after[uid]][_CLASS_INDEX[loop.ddg.operation(uid).op_class]] += 1
+    return counts
+
+
+@settings(max_examples=6, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_pressure_aware_partition_preview_path_bit_identical(shape, seed):
+    """The ablation's preview fast path changes nothing about its output."""
+    loop = generate_loop("pablate", shape, seed)
+    machine = four_cluster(32)
+    ii = mii(loop, machine)
+    with_preview = MultilevelPartitioner(machine, pressure_aware=True).partition(
+        loop, ii
+    )
+    assert PressureAwareEstimator.supports_preview
+    PressureAwareEstimator.supports_preview = False
+    try:
+        apply_undo = MultilevelPartitioner(
+            machine, pressure_aware=True
+        ).partition(loop, ii)
+    finally:
+        PressureAwareEstimator.supports_preview = True
+    assert with_preview.assignment == apply_undo.assignment
+    assert with_preview.estimate == apply_undo.estimate

@@ -15,6 +15,8 @@ from repro.eval.export import figure_to_csv, suite_result_to_json
 from repro.eval.figures import figure2_panel
 from repro.eval.parallel import (
     LoopTaskError,
+    evaluation_pool,
+    resolve_chunksize,
     resolve_jobs,
     run_requests,
     run_suite_parallel,
@@ -69,6 +71,24 @@ class TestResolveJobs:
             resolve_jobs(-2)
 
 
+class TestResolveChunksize:
+    def test_explicit_value_passes_through(self):
+        assert resolve_chunksize(1, total_items=100, jobs=4) == 1
+        assert resolve_chunksize(7, total_items=100, jobs=4) == 7
+
+    def test_heuristic_amortizes_but_load_balances(self):
+        # ~4 waves of chunks per worker.
+        assert resolve_chunksize(None, total_items=220, jobs=4) == 14
+        # Tiny suites stay at one loop per task.
+        assert resolve_chunksize(None, total_items=3, jobs=8) == 1
+        # Huge tiers are capped so one slow loop can't starve the pool.
+        assert resolve_chunksize(None, total_items=100_000, jobs=2) == 32
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_chunksize(0, total_items=10, jobs=2)
+
+
 class TestDeterministicMerge:
     """Parallel output is byte-identical to sequential, any worker count."""
 
@@ -81,12 +101,49 @@ class TestDeterministicMerge:
         result = run_suite(paper_suite, make_scheduler("gp", two_cluster(32)))
         return suite_result_to_json(result, timing=False)
 
-    @pytest.mark.parametrize("jobs", [1, 2, 8])
-    def test_byte_identical_export(self, paper_suite, sequential_export, jobs):
+    @pytest.mark.parametrize(
+        "jobs,chunksize",
+        [
+            (1, None),
+            (2, None),   # automatic chunking heuristic
+            (2, 1),      # one future per loop (the pre-chunking dispatch)
+            (2, 3),
+            (2, 1000),   # one chunk swallows the whole suite
+            (8, None),
+            (8, 2),
+        ],
+    )
+    def test_byte_identical_export(
+        self, paper_suite, sequential_export, jobs, chunksize
+    ):
         result = run_suite(
-            paper_suite, make_scheduler("gp", two_cluster(32)), jobs=jobs
+            paper_suite,
+            make_scheduler("gp", two_cluster(32)),
+            jobs=jobs,
+            chunksize=chunksize,
         )
         assert suite_result_to_json(result, timing=False) == sequential_export
+
+    def test_shared_pool_reused_across_calls(self, paper_suite):
+        """One evaluation_pool serves several run_requests calls."""
+        mini = paper_suite[:1]
+        machine = two_cluster(32)
+        sequential = [
+            suite_result_to_json(run_suite(mini, scheduler), timing=False)
+            for scheduler in (GPScheduler(machine), UracamScheduler(machine))
+        ]
+        with evaluation_pool(jobs=2) as pool:
+            first = run_requests([(GPScheduler(machine), mini)], pool=pool)
+            executor = pool._executor
+            assert executor is not None  # spawned once...
+            second = run_requests([(UracamScheduler(machine), mini)], pool=pool)
+            assert pool._executor is executor  # ...and reused, not respawned
+        assert pool._executor is None  # context exit shuts it down
+        pooled = [
+            suite_result_to_json(result[0], timing=False)
+            for result in (first, second)
+        ]
+        assert pooled == sequential
 
     def test_rendered_panel_identical(self, paper_suite):
         mini = paper_suite[:1]

@@ -54,7 +54,7 @@ def test_gp_schedules_with_pressure_verification(shape, seed):
     loop = generate_loop("pressure-eq", shape, seed)
     outcome = GPScheduler(two_cluster(32), options=VERIFYING).schedule(loop)
     if outcome.is_modulo:
-        outcome.schedule.validate()
+        outcome.schedule.validate(full_recheck=True)
 
 
 @settings(max_examples=12, deadline=None)
@@ -65,7 +65,7 @@ def test_uracam_schedules_with_pressure_verification(shape, seed):
     loop = generate_loop("pressure-eq", shape, seed)
     outcome = UracamScheduler(four_cluster(32), options=VERIFYING).schedule(loop)
     if outcome.is_modulo:
-        outcome.schedule.validate()
+        outcome.schedule.validate(full_recheck=True)
 
 
 # ----------------------------------------------------------------------

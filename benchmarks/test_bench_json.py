@@ -6,34 +6,55 @@ timings of the Table 2 configurations and the micro components in a
 before/after-comparable schema, so future PRs can diff their scheduling
 CPU time against the committed baseline.
 
-Schema (``repro-bench/v3``)::
+Schema (``repro-bench/v4``)::
 
     {
-      "schema": "repro-bench/v3",
+      "schema": "repro-bench/v4",
       "table2": {"<config>": {"<scheduler>": seconds_per_benchmark}},
       "micro":  {"<component>": best_seconds},
       "parallel": {"suite": "extended", "loops": N, "scheduler": "gp",
                    "machine": "<config>", "jobs": J, "cpu_count": C,
+                   "oversubscribed": bool,
                    "wall_seconds": {"jobs1": s, "jobsJ": s}},
       "validate_wall_clock": {"suite": "extended", "machine": "<config>",
                               "scheduler": "gp", "schedules": N,
                               "full_recheck_seconds": s,
                               "cached_seconds": s},
+      "structural_validate_wall_clock": {"suite": "extended",
+                                         "schedules": N,
+                                         "full_sweep_seconds": s,
+                                         "cached_seconds": s},
+      "feasibility_cache": {"<config>": {"scheduler": "gp",
+                                         "suite": "paper|extended",
+                                         "hits": N, "scans": N,
+                                         "hit_rate": r}},
       "meta":   {"rounds": N, "suite_benchmarks": M}
     }
 
 The ``parallel`` section times the whole extended suite (220 loops,
 bodies to ~280 ops) through the batch runner, sequentially and with a
-worker pool.  ``cpu_count`` is recorded because the jobsJ number only
-drops below jobs1 when the host actually has spare cores — on a
+worker pool.  ``cpu_count`` is recorded — and ``oversubscribed`` (v4)
+flags ``jobs > cpu_count`` outright — because the jobsJ number only
+drops below jobs1 when the host actually has spare cores; on a
 single-CPU container it measures pool overhead instead.
 
 ``validate_wall_clock`` (v3) times ``validate()`` over every modulo
 schedule of that extended-tier run, in both modes: ``full_recheck=True``
-rebuilds the lifetime analysis from the raw value ledger per schedule
-(the pre-analysis-core behaviour, now the opt-in paranoid path), while
-the cached default reads the ScheduleAnalysis session each engine
-attached — the before/after record of the validator's segment sharing.
+rebuilds both analysis sessions from the raw schedule per validation
+(the pre-session behaviour, now the opt-in paranoid path), while the
+cached default reads the ScheduleAnalysis + StructuralAnalysis sessions
+each engine attached.
+
+``structural_validate_wall_clock`` (v4) isolates the structural half of
+that gap: the cached dependence/FU/bus check over the engine-attached
+occupancy rows vs. the from-scratch reference sweep
+(``StructuralAnalysis.from_schedule``) over every edge, placement and
+transfer.
+
+``feasibility_cache`` (v4) records the engine's candidate-feasibility
+cache telemetry on the 4-cluster presets: the fraction of ``_window``
+slot visits retired because an earlier spill round proved the slot
+structurally infeasible.
 """
 
 from __future__ import annotations
@@ -46,12 +67,15 @@ import time
 import pytest
 
 from repro.eval.figures import table2
+from repro.eval.metrics import feasibility_cache_stats
+from repro.eval.runner import run_suite
 from repro.ir.analysis import analyze, rec_mii
 from repro.machine.presets import four_cluster, two_cluster
 from repro.partition.partitioner import MultilevelPartitioner
 from repro.schedule.drivers import GPScheduler, UracamScheduler
 from repro.schedule.mii import mii
 from repro.schedule.ordering import sms_order
+from repro.schedule.structural_core import StructuralAnalysis
 from repro.workloads.generator import LoopShape, generate_loop
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_schedule.json"
@@ -138,8 +162,47 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
         schedule.validate(full_recheck=True)
     full_recheck_seconds = time.perf_counter() - started
 
+    # Structural half in isolation: cached occupancy-row check vs. the
+    # reference sweep over every edge, placement and transfer.
+    started = time.perf_counter()
+    for schedule in schedules:
+        schedule.structural.check(schedule.machine)
+    structural_cached_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for schedule in schedules:
+        StructuralAnalysis.from_schedule(schedule).check(schedule.machine)
+    structural_full_seconds = time.perf_counter() - started
+
+    # Candidate-feasibility cache telemetry on the 4-cluster presets.
+    # The 4x64 numbers ride on the extended-tier sequential run already
+    # performed for the parallel timing (its in-process outcomes still
+    # carry their ScheduleStats); only the spill-heavy 4x32 preset —
+    # where the cache concentrates — needs one extra paper-suite run.
+    extended_outcomes = [
+        outcome
+        for bench in timings["sequential_result"].per_benchmark.values()
+        for outcome in bench.outcomes
+    ]
+    feasibility = {
+        timings["machine"]: {
+            "scheduler": timings["scheduler"],
+            "suite": "extended",
+            **feasibility_cache_stats(extended_outcomes),
+        }
+    }
+    four32 = run_suite(suite, GPScheduler(four_cluster(32)))
+    feasibility[four_cluster(32).name] = {
+        "scheduler": "gp",
+        "suite": "paper",
+        **feasibility_cache_stats(
+            outcome
+            for bench in four32.per_benchmark.values()
+            for outcome in bench.outcomes
+        ),
+    }
+
     payload = {
-        "schema": "repro-bench/v3",
+        "schema": "repro-bench/v4",
         "table2": {
             config: dict(result.seconds[config]) for config in result.configs
         },
@@ -151,6 +214,7 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
             "machine": timings["machine"],
             "jobs": timings["jobs"],
             "cpu_count": os.cpu_count(),
+            "oversubscribed": timings["jobs"] > (os.cpu_count() or 1),
             "wall_seconds": {
                 f"jobs{jobs}": seconds
                 for jobs, seconds in timings["wall_seconds"].items()
@@ -164,6 +228,15 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
             "full_recheck_seconds": full_recheck_seconds,
             "cached_seconds": cached_seconds,
         },
+        "structural_validate_wall_clock": {
+            "suite": "extended",
+            "machine": timings["machine"],
+            "scheduler": timings["scheduler"],
+            "schedules": len(schedules),
+            "full_sweep_seconds": structural_full_seconds,
+            "cached_seconds": structural_cached_seconds,
+        },
+        "feasibility_cache": feasibility,
         "meta": {
             "rounds": _MICRO_ROUNDS,
             "suite_benchmarks": len(suite),

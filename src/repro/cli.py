@@ -18,9 +18,14 @@ tier) and ``--jobs N`` to fan per-loop scheduling out over N worker
 processes (``0`` = one per CPU; results are bit-identical to ``--jobs
 1``).  ``--chunksize`` batches several loops per worker task (default:
 an automatic heuristic) and one worker pool is shared across everything
-a single invocation runs.  ``evaluate --verify`` is the slow paranoid
-mode: every engine commit cross-checks the incremental pressure state
-and every schedule is re-validated with ``full_recheck=True``.
+a single invocation runs.  ``--mp-context spawn|forkserver`` picks the
+worker start method (default: ``forkserver`` where the platform has it).
+``evaluate --verify`` is the slow paranoid mode: every engine commit
+cross-checks the incremental pressure state and every schedule is
+re-validated with ``full_recheck=True``.  ``evaluate --validate-each``
+is the production posture: every modulo schedule is re-validated through
+the cached sessions, in the worker that produced it, so the
+sweep-integrated validation cost is measured rather than skipped.
 
 Examples::
 
@@ -137,16 +142,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # cross-checks inside the engine, plus a full_recheck validation
         # of every schedule before it is reported.
         options = EngineOptions(verify_pressure=True, validate_schedules=True)
-    with evaluation_pool(args.jobs) as pool:
+    with evaluation_pool(args.jobs, mp_context=args.mp_context) as pool:
         if args.bus_latency == 2:
             panel = figure3_panel(
                 args.registers, suite=suite, jobs=args.jobs,
                 chunksize=args.chunksize, pool=pool, options=options,
+                validate_each=args.validate_each,
             )
         else:
             panel = figure2_panel(
                 args.clusters, args.registers, suite=suite, jobs=args.jobs,
                 chunksize=args.chunksize, pool=pool, options=options,
+                validate_each=args.validate_each,
             )
     if args.format == "csv":
         print(figure_to_csv(panel), end="")
@@ -184,8 +191,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     suite = _pick_suite(args)
     machine = parse_machine(args.machine)
     jobs = resolve_jobs(args.jobs)
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = jobs > cpu_count
+    if oversubscribed:
+        # The per-loop timers measure elapsed time, so more workers than
+        # cores inflates every number through contention: annotate instead
+        # of letting the artifact silently report a "slowdown".
+        print(
+            f"warning: --jobs {jobs} oversubscribes this host "
+            f"({cpu_count} CPU{'s' if cpu_count != 1 else ''}); parallel "
+            "wall clock measures contention, not speedup",
+            file=sys.stderr,
+        )
     started = _time.perf_counter()
-    with evaluation_pool(jobs) as pool:
+    with evaluation_pool(jobs, mp_context=args.mp_context) as pool:
         result = table2(
             suite, [machine], jobs=jobs, chunksize=args.chunksize, pool=pool
         )
@@ -203,13 +222,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"suite wall clock: {wall_seconds:.2f}s (jobs={jobs})")
     if args.json:
         payload = {
-            "schema": "repro-bench-cli/v1",
+            "schema": "repro-bench-cli/v2",
             "machine": config,
             "suite": args.suite,
             "benchmarks": len(suite),
             "loops": sum(len(b.loops) for b in suite),
             "jobs": jobs,
             "cpu_count": os.cpu_count(),
+            "oversubscribed": oversubscribed,
             "cpu_seconds_per_benchmark": dict(per),
             "wall_seconds": wall_seconds,
         }
@@ -262,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="loops batched per worker task (default: "
                        "automatic heuristic; results are identical at "
                        "any value)")
+        p.add_argument("--mp-context", default=None,
+                       choices=("spawn", "forkserver"),
+                       help="worker start method (default: forkserver "
+                       "where the platform offers it; results are "
+                       "identical under either)")
 
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
@@ -271,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="paranoid mode: cross-check the incremental "
                         "pressure accounting at every engine commit and "
                         "re-validate every schedule with full_recheck")
+    p_eval.add_argument("--validate-each", action="store_true",
+                        help="re-validate every modulo schedule through "
+                        "its cached sessions as it is produced (the "
+                        "sweep-integrated validation cost)")
     add_suite_options(p_eval)
     p_eval.add_argument("--format", default="table",
                         choices=("table", "csv", "json"))

@@ -82,12 +82,15 @@ def _panel(
     chunksize: Optional[int] = None,
     pool=None,
     options=None,
+    validate_each: bool = False,
 ) -> FigureResult:
     """Run the four bars of one figure panel (one shared pool).
 
     ``options`` (an :class:`~repro.schedule.engine.EngineOptions`) is
     handed to every scheduler — the CLI's ``--verify`` paranoid mode rides
-    in on it; ``pool``/``chunksize`` feed the batch runner.
+    in on it; ``pool``/``chunksize`` feed the batch runner, and
+    ``validate_each`` re-validates every modulo schedule where it is
+    produced (the CLI's ``--validate-each`` sweep-integrated check).
     """
     from .parallel import run_requests
 
@@ -102,6 +105,7 @@ def _panel(
         jobs=jobs,
         chunksize=chunksize,
         pool=pool,
+        validate_each=validate_each,
     )
     result = FigureResult(title=title, benchmarks=[b.name for b in suite])
     for label, suite_result in zip(SERIES_ORDER, suite_results):
@@ -119,6 +123,7 @@ def figure2_panel(
     chunksize: Optional[int] = None,
     pool=None,
     options=None,
+    validate_each: bool = False,
 ) -> FigureResult:
     """One of Figure 2's four panels (1 bus, 1-cycle latency)."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -134,6 +139,7 @@ def figure2_panel(
         chunksize=chunksize,
         pool=pool,
         options=options,
+        validate_each=validate_each,
     )
 
 
@@ -168,6 +174,7 @@ def figure3_panel(
     chunksize: Optional[int] = None,
     pool=None,
     options=None,
+    validate_each: bool = False,
 ) -> FigureResult:
     """One Figure 3 panel: 4 clusters, 1 bus with 2-cycle latency."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -183,6 +190,7 @@ def figure3_panel(
         chunksize=chunksize,
         pool=pool,
         options=options,
+        validate_each=validate_each,
     )
 
 

@@ -16,7 +16,7 @@ validator and the exports.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 
 def aggregate_ipc(
@@ -79,3 +79,29 @@ def total_register_cycles(outcomes: Iterable) -> int:
         if outcome.is_modulo:
             total += sum(outcome.schedule.register_cycles())
     return total
+
+
+# ----------------------------------------------------------------------
+# Engine telemetry (observational; never part of the exported artifacts)
+# ----------------------------------------------------------------------
+def feasibility_cache_stats(outcomes: Iterable) -> Dict[str, float]:
+    """Aggregate candidate-feasibility cache telemetry over outcomes.
+
+    ``hits`` are window slots the engine skipped because an earlier spill
+    round proved them structurally infeasible; ``scans`` are slots it
+    actually evaluated.  The hit rate is hits over all slot visits —
+    the fraction of the ``_window`` rescan the cache retired.
+    """
+    hits = scans = 0
+    for outcome in outcomes:
+        if not outcome.is_modulo:
+            continue
+        stats = outcome.schedule.stats
+        hits += stats.feas_cache_hits
+        scans += stats.feas_cache_scans
+    visits = hits + scans
+    return {
+        "hits": hits,
+        "scans": scans,
+        "hit_rate": hits / visits if visits else 0.0,
+    }

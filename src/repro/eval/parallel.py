@@ -26,6 +26,15 @@ Entry points:
 
 * :func:`resolve_jobs` — the ``--jobs`` convention: ``None``/``0`` means
   one worker per CPU, ``1`` means the in-process sequential path.
+* :func:`resolve_mp_context` — the ``--mp-context`` convention:
+  ``None`` picks ``forkserver`` where the platform offers it (POSIX) and
+  ``spawn`` elsewhere.  Forkserver workers fork from a small server
+  process that has pre-imported this module (the interpreter boots and
+  the library imports once, not once per worker), shaving the
+  per-invocation pool startup; ``spawn`` stays available as the
+  conservative portable choice.  Results are bit-identical under either
+  start method — the context only changes how worker processes come to
+  exist.
 
 Work items are dispatched in **chunks** of several loops
 (:func:`resolve_chunksize`; ``--chunksize`` on the CLI): one future per
@@ -81,6 +90,35 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+#: Start methods the pool accepts.  ``fork`` is deliberately excluded:
+#: forking a large parent mid-flight copies arbitrary state (open pools,
+#: timers) into workers, exactly the hazards the original spawn-only
+#: design avoided; forkserver gives fork's startup speed from a clean,
+#: single-purpose parent instead.
+MP_CONTEXTS = ("spawn", "forkserver")
+
+
+def resolve_mp_context(mp_context: Optional[str]) -> str:
+    """Normalize an ``--mp-context`` value.
+
+    ``None`` means the platform default: ``forkserver`` where available
+    (POSIX), else ``spawn``.  Explicit values are checked against both
+    the accepted set and the platform.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if mp_context is None:
+        return "forkserver" if "forkserver" in available else "spawn"
+    if mp_context not in MP_CONTEXTS:
+        raise ReproError(
+            f"--mp-context must be one of {MP_CONTEXTS}, got {mp_context!r}"
+        )
+    if mp_context not in available:
+        raise ReproError(
+            f"start method {mp_context!r} is unavailable on this platform"
+        )
+    return mp_context
+
+
 #: Upper bound on the automatic chunk size: chunks stay small enough for
 #: the pool to load-balance even when one loop is much slower than its
 #: neighbours (the extended tier mixes ~32-op and ~280-op bodies).
@@ -113,15 +151,23 @@ class EvaluationPool:
     (callers take the in-process sequential path).
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self, jobs: Optional[int] = None, mp_context: Optional[str] = None
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.mp_context = resolve_mp_context(mp_context)
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
+            context = multiprocessing.get_context(self.mp_context)
+            if self.mp_context == "forkserver":
+                # Workers fork from the server, so preloading this module
+                # there imports the library (and the interpreter) once per
+                # pool instead of once per worker.
+                context.set_forkserver_preload([__name__])
             self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=multiprocessing.get_context("spawn"),
+                max_workers=self.jobs, mp_context=context
             )
         return self._executor
 
@@ -132,9 +178,11 @@ class EvaluationPool:
 
 
 @contextmanager
-def evaluation_pool(jobs: Optional[int] = None) -> Iterator[EvaluationPool]:
+def evaluation_pool(
+    jobs: Optional[int] = None, mp_context: Optional[str] = None
+) -> Iterator[EvaluationPool]:
     """Context-managed :class:`EvaluationPool` shared across batch calls."""
-    pool = EvaluationPool(jobs)
+    pool = EvaluationPool(jobs, mp_context=mp_context)
     try:
         yield pool
     finally:
@@ -159,13 +207,25 @@ class _ChunkItemFailure(Exception):
 
 
 def _run_chunk(
-    scheduler: BaseScheduler, items: Sequence[Tuple[_TaskKey, Loop]]
+    scheduler: BaseScheduler,
+    items: Sequence[Tuple[_TaskKey, Loop]],
+    validate_each: bool = False,
 ) -> List[Tuple[_TaskKey, ScheduleOutcome]]:
-    """Worker entry point (module-level: picklable under ``spawn``)."""
+    """Worker entry point (module-level: picklable under ``spawn``).
+
+    ``validate_each`` validates each modulo schedule *here*, while the
+    engine-attached sessions are still alive (they are dropped when the
+    outcome is pickled back to the parent), so the sweep pays the cached
+    validation cost it is trying to measure — and a validation failure
+    surfaces as a :class:`LoopTaskError` naming the loop.
+    """
     out: List[Tuple[_TaskKey, ScheduleOutcome]] = []
     for key, loop in items:
         try:
-            out.append((key, scheduler.schedule(loop)))
+            outcome = scheduler.schedule(loop)
+            if validate_each and outcome.is_modulo:
+                outcome.schedule.validate()
+            out.append((key, outcome))
         except Exception as error:
             raise _ChunkItemFailure(key, error) from error
     return out
@@ -176,6 +236,8 @@ def run_requests(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     pool: Optional[EvaluationPool] = None,
+    mp_context: Optional[str] = None,
+    validate_each: bool = False,
 ) -> List[SuiteResult]:
     """Evaluate every ``(scheduler, suite)`` request, sharing one pool.
 
@@ -183,13 +245,18 @@ def run_requests(
     benchmarks and loop outcomes in their original suite order — the
     merge is deterministic no matter how the pool interleaves or chunks
     the work.  With ``pool`` the caller's shared :class:`EvaluationPool`
-    is reused (its worker count wins over ``jobs``) and left running on
-    return; note a failed run may leave already-submitted chunks draining
-    in a shared pool, and a *died* worker breaks the pool for later calls.
+    is reused (its worker count and start method win over ``jobs`` /
+    ``mp_context``) and left running on return; note a failed run may
+    leave already-submitted chunks draining in a shared pool, and a
+    *died* worker breaks the pool for later calls.  ``validate_each``
+    validates each modulo schedule in the worker that produced it.
     """
     jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     if jobs == 1:
-        return [run_suite(list(suite), scheduler) for scheduler, suite in requests]
+        return [
+            run_suite(list(suite), scheduler, validate_each=validate_each)
+            for scheduler, suite in requests
+        ]
 
     flat: List[List[Tuple[_TaskKey, Loop]]] = []
     for r, (_scheduler, suite) in enumerate(requests):
@@ -206,7 +273,7 @@ def run_requests(
     outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
     owns_pool = pool is None
     if owns_pool:
-        pool = EvaluationPool(jobs)
+        pool = EvaluationPool(jobs, mp_context=mp_context)
     futures: Dict[object, List[_TaskKey]] = {}
     try:
         executor = pool.executor()
@@ -217,7 +284,9 @@ def run_requests(
                 items = flat[r]
                 for start in range(0, len(items), size):
                     chunk = items[start : start + size]
-                    future = executor.submit(_run_chunk, scheduler, chunk)
+                    future = executor.submit(
+                        _run_chunk, scheduler, chunk, validate_each
+                    )
                     futures[future] = [key for key, _loop in chunk]
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
             for future in done:
@@ -291,6 +360,8 @@ def run_suite_parallel(
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
     pool: Optional[EvaluationPool] = None,
+    mp_context: Optional[str] = None,
+    validate_each: bool = False,
 ) -> SuiteResult:
     """Parallel counterpart of :func:`~repro.eval.runner.run_suite`.
 
@@ -299,5 +370,10 @@ def run_suite_parallel(
     default ``jobs=None`` means one worker per CPU.
     """
     return run_requests(
-        [(scheduler, suite)], jobs=jobs, chunksize=chunksize, pool=pool
+        [(scheduler, suite)],
+        jobs=jobs,
+        chunksize=chunksize,
+        pool=pool,
+        mp_context=mp_context,
+        validate_each=validate_each,
     )[0]

@@ -74,16 +74,41 @@ class BenchmarkResult:
 
 
 def run_benchmark(
-    benchmark: Benchmark, scheduler: BaseScheduler
+    benchmark: Benchmark,
+    scheduler: BaseScheduler,
+    validate_each: bool = False,
 ) -> BenchmarkResult:
-    """Schedule every loop of ``benchmark`` with ``scheduler``."""
+    """Schedule every loop of ``benchmark`` with ``scheduler``.
+
+    ``validate_each`` re-validates every modulo schedule right after it
+    is produced (the cached sessions the engine attached, not the
+    paranoid ``full_recheck`` rebuild) — the production posture where
+    every served schedule is checked, so sweeps measure and gate the
+    integrated validation cost instead of timing it standalone.  A
+    schedule that fails surfaces as a
+    :class:`~repro.eval.parallel.LoopTaskError` naming the loop, exactly
+    like the parallel path.
+    """
     result = BenchmarkResult(
         benchmark=benchmark.name,
         scheduler=scheduler.name,
         machine=scheduler.machine.name,
     )
     for loop in benchmark.loops:
-        result.outcomes.append(scheduler.schedule(loop))
+        outcome = scheduler.schedule(loop)
+        if validate_each and outcome.is_modulo:
+            try:
+                outcome.schedule.validate()
+            except Exception as error:
+                from .parallel import LoopTaskError
+
+                raise LoopTaskError(
+                    benchmark=benchmark.name,
+                    loop_name=loop.name,
+                    scheduler=scheduler.name,
+                    cause=error,
+                ) from error
+        result.outcomes.append(outcome)
     return result
 
 
@@ -111,6 +136,7 @@ def run_suite(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     pool=None,
+    validate_each: bool = False,
 ) -> SuiteResult:
     """Schedule the whole suite with one scheduler instance.
 
@@ -120,14 +146,24 @@ def run_suite(
     deterministic merge, so the result is bit-identical either way.
     ``chunksize`` batches several loops per work item and ``pool`` reuses
     an :func:`~repro.eval.parallel.evaluation_pool` across calls.
+    ``validate_each`` re-validates every modulo schedule as it is
+    produced (in the worker that scheduled it, on the parallel path, so
+    the cost is measured where it is paid).
     """
     if jobs != 1 or pool is not None:
         from .parallel import run_suite_parallel
 
         return run_suite_parallel(
-            suite, scheduler, jobs=jobs, chunksize=chunksize, pool=pool
+            suite,
+            scheduler,
+            jobs=jobs,
+            chunksize=chunksize,
+            pool=pool,
+            validate_each=validate_each,
         )
     result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
     for benchmark in suite:
-        result.per_benchmark[benchmark.name] = run_benchmark(benchmark, scheduler)
+        result.per_benchmark[benchmark.name] = run_benchmark(
+            benchmark, scheduler, validate_each=validate_each
+        )
     return result

@@ -28,6 +28,7 @@ from .mrt import BusSlot, FUSlot, Overlay, ReservationTable
 from .ordering import sms_order
 from .pressure import PressurePreview, PressureTracker
 from .result import AuxOp, ModuloSchedule, Placed, ScheduleStats
+from .structural_core import StructuralAnalysis
 from .values import BusTransfer, Use, ValueState, segments_of_value, value_segments
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "ScheduleOutcome",
     "ScheduleStats",
     "SchedulingEngine",
+    "StructuralAnalysis",
     "UnifiedScheduler",
     "UracamScheduler",
     "Use",

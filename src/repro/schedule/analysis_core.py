@@ -26,6 +26,14 @@ session's :meth:`verify` cross-checks the incremental state against them,
 and :meth:`rebuild` re-derives a fresh session from the raw ledger — the
 ``validate(full_recheck=True)`` escape hatch rebuilds and cross-checks so
 a stale or corrupted cache can never hide a register violation.
+
+:mod:`repro.schedule.structural_core` is this module's structural
+sibling: the same session discipline (engine handover, lazy derivation
+for session-less schedules, a from-scratch reference the paranoid mode
+rebuilds and compares against) applied to the dependence, functional-unit
+and bus checks, whose occupancy rows the engine's reservation table
+already maintains.  Between the two sessions, ``validate()`` no longer
+sweeps any per-edge or per-placement state on engine-produced schedules.
 """
 
 from __future__ import annotations

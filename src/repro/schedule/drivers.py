@@ -104,6 +104,7 @@ class BaseScheduler:
         ii = start_ii
         step = 1
         consecutive_failures = 0
+        feas_hits = feas_scans = 0
         while ii <= start_ii + self.max_ii_span:
             policy = self._policy(loop, ii)
             engine = SchedulingEngine(
@@ -111,6 +112,10 @@ class BaseScheduler:
             )
             attempts += 1
             found = engine.attempt()
+            # Candidate-feasibility cache telemetry survives failed
+            # attempts (where most of the spill-round rescanning happens).
+            feas_hits += engine.stats.feas_cache_hits
+            feas_scans += engine.stats.feas_cache_scans
             if found is not None:
                 break
             # Escalate geometrically on stubborn loops: after every three
@@ -130,6 +135,8 @@ class BaseScheduler:
             found.stats.partitions_computed = getattr(
                 self, "_partitions_computed", 0
             )
+            found.stats.feas_cache_hits = feas_hits
+            found.stats.feas_cache_scans = feas_scans
             if self.options.validate_schedules:
                 # Paranoid end-to-end mode (CLI --verify): rebuild the
                 # lifetime analysis from the raw ledger and cross-check it

@@ -73,6 +73,7 @@ from .mrt import FUSlot, Overlay, ReservationTable
 from .ordering import sms_order
 from .pressure import PressureTracker
 from .result import AuxOp, ModuloSchedule, Placed, ScheduleStats
+from .structural_core import StructuralAnalysis, count_edges
 from .values import (
     LOAD_LATENCY,
     STORE_LATENCY,
@@ -220,9 +221,18 @@ class EngineOptions:
     #: Original memory ops per cluster (per-cluster headroom, §3.3.4); when
     #: None, the single global headroom component of §3.3.2 is used.
     mem_ops_per_cluster: Optional[Dict[int, int]] = None
+    #: Per-node candidate-feasibility cache across spill rounds: (cluster,
+    #: cycle) slots that failed for structural reasons a spill cannot fix
+    #: (the op's own FU-class slot busy, or a dependence-window violation —
+    #: both functions of state a spill only tightens) stay pruned from the
+    #: window rescan of later rounds.  Behaviour-preserving by
+    #: construction; the equivalence tests A/B this knob.
+    feas_cache: bool = True
     #: Cross-check the incremental pressure tracker against the reference
-    #: recompute after every commit, spill and candidate rollback (slow;
-    #: used by the equivalence tests).
+    #: recompute after every commit, spill and candidate rollback, and the
+    #: structural (reservation-table) handover against the reference
+    #: sweeps before it is attached to the schedule (slow; used by the
+    #: equivalence tests and the CLI's ``--verify`` mode).
     verify_pressure: bool = False
     #: Drivers re-validate every modulo schedule they produce with
     #: ``validate(full_recheck=True)`` before returning it (slow; the CLI's
@@ -301,6 +311,16 @@ class SchedulingEngine:
         # eval metrics read its cached segments/rings instead of
         # re-deriving every lifetime from the ledger.
         schedule.attach_analysis(self.pressure)
+        # Same handover for the structural side: the reservation table's
+        # live occupancy rows and bus ledger become the session the
+        # dependence/FU/bus validator passes read, retiring their
+        # full-sweep rechecks on engine-produced schedules.
+        structural = StructuralAnalysis.from_table(
+            self.table, dep_edges=count_edges(schedule)
+        )
+        if self.options.verify_pressure:
+            structural.verify(schedule)
+        schedule.attach_structural(structural)
         return schedule
 
     def _schedule_node(self, uid: int) -> bool:
@@ -310,11 +330,17 @@ class SchedulingEngine:
         # cluster per candidate cycle per spill round.
         window = self._window(uid)
         plan = self._node_plan(uid)
+        # Candidate-feasibility cache, shared by this node's spill rounds:
+        # (cluster, cycle) slots whose failure a spill provably cannot fix
+        # (see _evaluate).  Placements and the MRT only gain reservations
+        # while this node is being placed, so the pruned set never goes
+        # stale; it dies with the node.
+        pruned: Set[Tuple[int, int]] = set()
         for _round in range(self.options.max_spill_rounds + 1):
             self._failure_reasons = {}
             candidate = self.policy.select(
                 uid,
-                lambda cluster: self._evaluate(uid, cluster, window, plan),
+                lambda cluster: self._evaluate(uid, cluster, window, plan, pruned),
                 self.options.merit_threshold,
             )
             if candidate is not None:
@@ -416,12 +442,21 @@ class SchedulingEngine:
             )
         return _NodePlan(operands, deliveries)
 
+    #: Slot-failure reasons a spill round cannot cure: "fu" is the op's own
+    #: FU-class slot (spills only *add* FU reservations), "dep" is a
+    #: dependence-window violation (pure arithmetic over committed
+    #: placements, which are frozen while the node is being placed).
+    #: "regs"/"bus"/"mem" failures stay re-evaluated — a spill frees
+    #: registers and can release dead bus transfers.
+    _SPILL_INVARIANT = frozenset(("fu", "dep"))
+
     def _evaluate(
         self,
         uid: int,
         cluster: int,
         window: Optional[Sequence[int]] = None,
         plan: "Optional[_NodePlan]" = None,
+        pruned: "Optional[Set[Tuple[int, int]]]" = None,
     ) -> Optional[Candidate]:
         reasons = self._failure_reasons.setdefault(cluster, set())
         op = self.ddg.operation(uid)
@@ -432,7 +467,24 @@ class SchedulingEngine:
         if not window:
             reasons.add("dep")
             return None
+        caching = pruned is not None and self.options.feas_cache
+        stats = self.stats
         for time in window:
+            if caching:
+                if (cluster, time) in pruned:
+                    stats.feas_cache_hits += 1
+                    continue
+                stats.feas_cache_scans += 1
+                slot_reasons: Set[str] = set()
+                candidate = self._evaluate_slot(
+                    uid, op, cluster, time, slot_reasons, plan
+                )
+                reasons |= slot_reasons
+                if candidate is not None:
+                    return candidate
+                if slot_reasons and slot_reasons <= self._SPILL_INVARIANT:
+                    pruned.add((cluster, time))
+                continue
             candidate = self._evaluate_slot(uid, op, cluster, time, reasons, plan)
             if candidate is not None:
                 return candidate

@@ -191,6 +191,34 @@ class ReservationTable:
             if self._bus_used.pop((slot.bus, cycle), False):
                 self._bus_cycles_in_use -= 1
 
+    # -- structural handover (for the StructuralAnalysis session) ---------
+    def fu_occupancy_rows(self) -> Dict[Tuple[int, OpClass], List[int]]:
+        """Copies of the nonzero per-(cluster, class) occupancy rows.
+
+        Normalized exactly like the reference sweep
+        (:func:`~repro.schedule.structural_core.fu_usage_rows`): the
+        capacity slot is stripped and untouched rows are omitted, so the
+        engine's handed-over session compares equal to a from-scratch
+        rebuild of the same schedule.
+        """
+        return {
+            key: state[1:]
+            for key, state in self._fu_state.items()
+            if any(state[1:])
+        }
+
+    def bus_occupancy_rows(self) -> Dict[int, List[int]]:
+        """Per-bus occupancy counts over the kernel cycles (copies)."""
+        rows: Dict[int, List[int]] = {}
+        for (bus, cycle), used in self._bus_used.items():
+            if not used:
+                continue
+            row = rows.get(bus)
+            if row is None:
+                row = rows[bus] = [0] * self.ii
+            row[cycle] += 1
+        return rows
+
     # -- utilization (for the figure of merit) ----------------------------
     def fu_slots_used(self, cluster: int, op_class: OpClass) -> int:
         return self._fu_class_used.get((cluster, op_class), 0)

@@ -14,27 +14,37 @@ MaxLives register bound — raising
 :class:`~repro.errors.ValidationError` on any violation.  The test suite
 property-tests that every scheduler's output validates.
 
-Register lifetimes come from the schedule's
-:class:`~repro.schedule.analysis_core.ScheduleAnalysis` session: the
-engine attaches the very session it maintained while scheduling, so
-``validate()`` reads cached peaks instead of re-deriving every lifetime —
-the dominant cost on big sweeps.  ``validate(full_recheck=True)`` is the
-paranoid mode: it rebuilds the analysis from the raw value ledger, raises
-if a cached session diverged from that rebuild, and validates against the
-rebuild — the default for the property-test suite, opt-in for sweeps.
+Both halves of the check read engine-attached sessions instead of
+re-deriving from the raw schedule:
+
+* register lifetimes come from the schedule's
+  :class:`~repro.schedule.analysis_core.ScheduleAnalysis` session, so
+  ``validate()`` reads cached peaks instead of re-deriving every
+  lifetime;
+* the dependence/functional-unit/bus passes read the schedule's
+  :class:`~repro.schedule.structural_core.StructuralAnalysis` session —
+  the reservation-table occupancy rows and dependence evidence the
+  engine maintained while scheduling — instead of sweeping every edge
+  and placement per schedule.
+
+Schedules without sessions (deserialized, hand-built) derive both
+lazily from the raw schedule, reproducing the seed's from-scratch
+verdicts.  ``validate(full_recheck=True)`` is the paranoid mode: it
+rebuilds both sessions from the raw schedule, raises if a cached
+session diverged from its rebuild, and validates against the rebuilds —
+the default for the property-test suite, opt-in for sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..errors import ValidationError
-from ..ir.ddg import DepKind
 from ..ir.loop import Loop
-from ..ir.opcodes import OpClass
 from ..machine.config import MachineConfig
 from .analysis_core import ScheduleAnalysis
+from .structural_core import StructuralAnalysis
 from .values import (
     LOAD_LATENCY,
     STORE_LATENCY,
@@ -73,6 +83,13 @@ class ScheduleStats:
     spills: int = 0
     ii_attempts: int = 0
     partitions_computed: int = 0
+    #: Candidate-feasibility cache telemetry: window slots skipped because
+    #: a previous spill round proved them structurally infeasible, vs.
+    #: slots actually evaluated.  Aggregated across every engine attempt
+    #: of the II search (failed attempts included); purely observational —
+    #: never exported, so artifacts stay bit-identical.
+    feas_cache_hits: int = 0
+    feas_cache_scans: int = 0
 
 
 @dataclass
@@ -90,6 +107,7 @@ class ModuloSchedule:
 
     def __post_init__(self) -> None:
         self._analysis: Optional[ScheduleAnalysis] = None
+        self._structural: Optional[StructuralAnalysis] = None
 
     # ------------------------------------------------------------------
     # Shared lifetime analysis
@@ -118,12 +136,39 @@ class ModuloSchedule:
             )
         self._analysis = analysis
 
+    # ------------------------------------------------------------------
+    # Shared structural analysis
+    # ------------------------------------------------------------------
+    @property
+    def structural(self) -> StructuralAnalysis:
+        """The schedule's structural-analysis session (built once, cached).
+
+        The engine hands over its reservation table's occupancy rows and
+        dependence evidence; schedules without a session (deserialized,
+        hand-built) derive it lazily from the raw schedule via the
+        reference sweeps.  The dependence/FU/bus validator passes read
+        off this one session.
+        """
+        if self._structural is None:
+            self._structural = StructuralAnalysis.from_schedule(self)
+        return self._structural
+
+    def attach_structural(self, structural: StructuralAnalysis) -> None:
+        """Adopt an engine-maintained structural session as the cache."""
+        if structural.ii != self.ii:
+            raise ValueError(
+                f"structural analysis computed at II {structural.ii}, "
+                f"schedule has {self.ii}"
+            )
+        self._structural = structural
+
     def __getstate__(self) -> Dict[str, Any]:
-        # The analysis is derived state: drop it so pickled schedules
+        # Both sessions are derived state: drop them so pickled schedules
         # (worker -> parent transfers in the parallel runner) stay small;
-        # the receiver rebuilds it lazily and bit-identically.
+        # the receiver rebuilds them lazily and bit-identically.
         state = dict(self.__dict__)
         state["_analysis"] = None
+        state["_structural"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -192,19 +237,18 @@ class ModuloSchedule:
     def validate(self, full_recheck: bool = False) -> None:
         """Re-verify dependences, resources and registers.
 
-        Dependences, communication evidence, functional units and buses
-        are always checked from the raw schedule.  The register bound
-        reads the cached :attr:`analysis` session; with
-        ``full_recheck=True`` the lifetimes are rebuilt from the raw
-        value ledger instead, and a cached session that diverged from
-        that rebuild is itself a validation failure (stale or corrupted
-        analysis).  Property tests run the paranoid mode; big sweeps use
+        The dependence/functional-unit/bus passes read the cached
+        :attr:`structural` session and the register bound reads the
+        cached :attr:`analysis` session — O(occupancy rows) instead of
+        O(edges + placements + uses) per schedule.  With
+        ``full_recheck=True`` both sessions are rebuilt from the raw
+        schedule instead, and a cached session that diverged from its
+        rebuild is itself a validation failure (stale or corrupted
+        session).  Property tests run the paranoid mode; big sweeps use
         the cached default.
         """
         self._validate_placements()
-        self._validate_dependences()
-        self._validate_functional_units()
-        self._validate_buses()
+        self._validate_structure(full_recheck)
         self._validate_registers(full_recheck)
 
     def _validate_placements(self) -> None:
@@ -215,108 +259,21 @@ class ModuloSchedule:
             if not 0 <= cluster < self.machine.num_clusters:
                 raise ValidationError(f"operation {uid} on bogus cluster {cluster}")
 
-    def _validate_dependences(self) -> None:
-        ddg = self.loop.ddg
-        for dep in ddg.edges():
-            src, dst = self.placements[dep.src], self.placements[dep.dst]
-            separation = dst.time + self.ii * dep.distance - src.time
-            if dep.kind is not DepKind.DATA or src.cluster == dst.cluster:
-                if separation < dep.latency:
-                    raise ValidationError(
-                        f"dependence {dep.src}->{dep.dst} violated: "
-                        f"separation {separation} < latency {dep.latency}"
-                    )
-                continue
-            # Cross-cluster DATA edge: communication evidence required.
-            self._validate_communication(dep, src, dst)
-
-    def _validate_communication(self, dep, src: Placed, dst: Placed) -> None:
-        value = self.values.get(dep.src)
-        if value is None:
-            raise ValidationError(f"no value state for producer {dep.src}")
-        birth = src.time + self.loop.ddg.operation(dep.src).latency
-        read_time = dst.time + self.ii * dep.distance
-        use = self._find_use(value, dep.dst, read_time)
-
-        if use.route == "reg":
-            delivered = value.copy_available(dst.cluster)
-            if delivered is None or delivered > read_time:
+    def _validate_structure(self, full_recheck: bool = False) -> None:
+        structural = self._structural
+        if full_recheck or structural is None:
+            reference = StructuralAnalysis.from_schedule(self)
+            if (
+                full_recheck
+                and structural is not None
+                and not structural.matches(reference)
+            ):
                 raise ValidationError(
-                    f"value {dep.src} not in cluster {dst.cluster} registers "
-                    f"by cycle {read_time}"
+                    "cached structural analysis diverged from the raw "
+                    "schedule (stale or corrupted StructuralAnalysis session)"
                 )
-            for transfer in value.transfers:
-                if transfer.dst_cluster == dst.cluster and transfer.slot.start < birth:
-                    raise ValidationError(
-                        f"value {dep.src} transferred before it was produced"
-                    )
-        elif use.route == "mem":
-            ready = value.memory_ready()
-            if ready is None:
-                raise ValidationError(
-                    f"memory-routed use of {dep.src} but the value was never stored"
-                )
-            if value.store_time < birth:
-                raise ValidationError(f"value {dep.src} stored before produced")
-            if use.load_time is None or use.load_time < ready:
-                raise ValidationError(
-                    f"load of value {dep.src} issues before the store completes"
-                )
-            if use.load_time + LOAD_LATENCY > read_time:
-                raise ValidationError(
-                    f"load of value {dep.src} completes after the read at {read_time}"
-                )
-        else:  # pragma: no cover - defensive
-            raise ValidationError(f"unknown route {use.route!r}")
-
-    def _find_use(self, value: ValueState, consumer: int, read_time: int):
-        for use in value.uses:
-            if use.consumer == consumer and use.read_time == read_time:
-                return use
-        raise ValidationError(
-            f"no use record for consumer {consumer} of value {value.producer}"
-        )
-
-    def _validate_functional_units(self) -> None:
-        usage: Dict[Tuple[int, OpClass, int], int] = {}
-        for uid, placed in self.placements.items():
-            op = self.loop.ddg.operation(uid)
-            key = (placed.cluster, op.op_class, placed.time % self.ii)
-            usage[key] = usage.get(key, 0) + 1
-        for aux in self.aux_ops:
-            key = (aux.cluster, OpClass.MEM, aux.time % self.ii)
-            usage[key] = usage.get(key, 0) + 1
-        for (cluster, op_class, cycle), used in usage.items():
-            capacity = self.machine.cluster(cluster).units_for_class(op_class)
-            if used > capacity:
-                raise ValidationError(
-                    f"cluster {cluster} {op_class} oversubscribed at kernel "
-                    f"cycle {cycle}: {used} > {capacity}"
-                )
-
-    def _validate_buses(self) -> None:
-        busy: Dict[Tuple[int, int], int] = {}
-        for value in self.values.values():
-            for transfer in value.transfers:
-                cycles = {
-                    (transfer.slot.start + k) % self.ii
-                    for k in range(transfer.slot.length)
-                }
-                if len(cycles) != transfer.slot.length:
-                    raise ValidationError(
-                        f"transfer of value {value.producer} overlaps itself "
-                        f"(length {transfer.slot.length} > II {self.ii})"
-                    )
-                for cycle in cycles:
-                    key = (transfer.slot.bus, cycle)
-                    busy[key] = busy.get(key, 0) + 1
-        for (bus, cycle), used in busy.items():
-            if bus >= self.machine.num_buses:
-                raise ValidationError(f"transfer on nonexistent bus {bus}")
-            if used > 1:
-                raise ValidationError(
-                    f"bus {bus} double-booked at kernel cycle {cycle}"
-                )
+            structural = self._structural = reference
+        structural.check(self.machine)
 
     def _validate_registers(self, full_recheck: bool = False) -> None:
         analysis = self._analysis

@@ -113,13 +113,28 @@ class TestCommands:
         )
         assert code == 0
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-cli/v1"
+        assert payload["schema"] == "repro-bench-cli/v2"
         assert payload["suite"] == "paper"
         assert payload["jobs"] == 1
+        assert payload["oversubscribed"] is False
         assert payload["wall_seconds"] > 0
         assert set(payload["cpu_seconds_per_benchmark"]) == {
             "uracam", "fixed-partition", "gp"
         }
+
+    def test_bench_warns_when_jobs_oversubscribe_host(self, tmp_path, capsys):
+        import os
+
+        path = tmp_path / "bench.json"
+        jobs = (os.cpu_count() or 1) + 2
+        code = main(
+            ["bench", "--machine", "2x32", "--programs", "1",
+             "--jobs", str(jobs), "--json", str(path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "oversubscribes this host" in captured.err
+        assert json.loads(path.read_text())["oversubscribed"] is True
 
     def test_evaluate_jobs_matches_sequential(self, capsys):
         argv = ["evaluate", "--programs", "1", "--format", "csv"]
@@ -127,6 +142,30 @@ class TestCommands:
         sequential = capsys.readouterr().out
         assert main(argv + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == sequential
+
+    def test_evaluate_validate_each_matches_sequential(self, capsys):
+        argv = ["evaluate", "--programs", "1", "--format", "csv"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--validate-each"]) == 0
+        assert capsys.readouterr().out == sequential
+        assert main(argv + ["--validate-each", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_evaluate_mp_context_matches_sequential(self, capsys):
+        import multiprocessing
+
+        argv = ["evaluate", "--programs", "1", "--format", "csv"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        available = multiprocessing.get_all_start_methods()
+        for context in ("spawn", "forkserver"):
+            if context not in available:
+                continue
+            assert main(
+                argv + ["--jobs", "2", "--mp-context", context]
+            ) == 0
+            assert capsys.readouterr().out == sequential
 
     def test_machines_listing(self, capsys):
         assert main(["machines"]) == 0

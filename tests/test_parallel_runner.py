@@ -7,6 +7,7 @@ path, and a worker that raises (or dies) produces a clear per-loop error
 instead of a hung pool.
 """
 
+import multiprocessing
 import os
 
 import pytest
@@ -18,6 +19,7 @@ from repro.eval.parallel import (
     evaluation_pool,
     resolve_chunksize,
     resolve_jobs,
+    resolve_mp_context,
     run_requests,
     run_suite_parallel,
 )
@@ -57,6 +59,28 @@ class _DyingScheduler(BaseScheduler):
         os._exit(13)
 
 
+class _SessionCorruptingScheduler(BaseScheduler):
+    """Schedules normally, then poisons one loop's structural session —
+    the corruption ``validate_each`` exists to catch in-sweep."""
+
+    name = "session-corrupting"
+
+    def __init__(self, machine, victim: str) -> None:
+        super().__init__(machine)
+        self.victim = victim
+
+    def schedule(self, loop):
+        outcome = super().schedule(loop)
+        if loop.name == self.victim and outcome.is_modulo:
+            outcome.schedule.structural.dep_error = "injected session corruption"
+        return outcome
+
+    def _policy(self, loop, ii):
+        from repro.schedule.engine import AllClustersPolicy
+
+        return AllClustersPolicy(self.machine.num_clusters)
+
+
 class TestResolveJobs:
     def test_default_is_cpu_count(self):
         assert resolve_jobs(None) == (os.cpu_count() or 1)
@@ -69,6 +93,25 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ReproError):
             resolve_jobs(-2)
+
+
+class TestResolveMpContext:
+    def test_default_prefers_forkserver_on_posix(self):
+        expected = (
+            "forkserver"
+            if "forkserver" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        assert resolve_mp_context(None) == expected
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_mp_context("spawn") == "spawn"
+
+    def test_fork_and_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_mp_context("fork")
+        with pytest.raises(ReproError):
+            resolve_mp_context("banana")
 
 
 class TestResolveChunksize:
@@ -121,6 +164,33 @@ class TestDeterministicMerge:
             make_scheduler("gp", two_cluster(32)),
             jobs=jobs,
             chunksize=chunksize,
+        )
+        assert suite_result_to_json(result, timing=False) == sequential_export
+
+    @pytest.mark.parametrize("mp_context", ["spawn", "forkserver"])
+    def test_byte_identical_under_both_start_methods(
+        self, paper_suite, sequential_export, mp_context
+    ):
+        if mp_context not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{mp_context} unavailable on this platform")
+        result = run_requests(
+            [(make_scheduler("gp", two_cluster(32)), paper_suite)],
+            jobs=2,
+            mp_context=mp_context,
+        )[0]
+        assert suite_result_to_json(result, timing=False) == sequential_export
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_validate_each_changes_nothing(
+        self, paper_suite, sequential_export, jobs
+    ):
+        """The sweep-integrated validation accepts every schedule and the
+        merged results stay byte-identical."""
+        result = run_suite(
+            paper_suite,
+            make_scheduler("gp", two_cluster(32)),
+            jobs=jobs,
+            validate_each=True,
         )
         assert suite_result_to_json(result, timing=False) == sequential_export
 
@@ -182,3 +252,14 @@ class TestFailureSurfacing:
             run_suite_parallel(suite, _DyingScheduler(two_cluster(32)), jobs=2)
         # The pool is broken, not hung, and the error names affected work.
         assert excinfo.value.benchmark == suite[0].name
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_validate_each_surfaces_bad_schedule_as_loop_error(self, jobs):
+        """Sequential and pooled paths both name the failing loop."""
+        suite = spec_suite()[:1]
+        victim = suite[0].loops[0].name
+        scheduler = _SessionCorruptingScheduler(two_cluster(32), victim=victim)
+        with pytest.raises(LoopTaskError) as excinfo:
+            run_suite(suite, scheduler, jobs=jobs, validate_each=True)
+        assert excinfo.value.loop_name == victim
+        assert "injected session corruption" in str(excinfo.value)

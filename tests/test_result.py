@@ -115,8 +115,22 @@ class TestValidatorCatchesCorruption:
                 moved = True
                 break
         assert moved
+        # A session-less schedule derives its structural analysis from the
+        # (broken) raw schedule and must reject; on the original, whose
+        # cached sessions predate the mutation, the paranoid full recheck
+        # must catch the divergence.
+        corrupt = ModuloSchedule(
+            loop=sched.loop,
+            machine=sched.machine,
+            ii=sched.ii,
+            placements=sched.placements,
+            values=sched.values,
+            aux_ops=sched.aux_ops,
+        )
         with pytest.raises(ValidationError):
-            sched.validate()
+            corrupt.validate()
+        with pytest.raises(ValidationError):
+            sched.validate(full_recheck=True)
 
     def test_register_overflow_detected(self):
         sched = scheduled_daxpy()

@@ -6,7 +6,18 @@ by URACAM-style modulo scheduling with integrated register allocation and
 spill-code generation, evaluated against the URACAM and Fixed Partition
 baselines on a synthetic SPECfp95-like loop suite.
 
-Quickstart::
+Quickstart (the typed service façade — see ``repro.service`` and
+``examples/service_quickstart.py``)::
+
+    from repro import ReproService, ScheduleRequest
+
+    with ReproService() as service:
+        response = service.schedule(
+            ScheduleRequest(kernel="daxpy", machine="2x32", scheduler="gp")
+        )
+        print(response.ipc(), response.outcome.schedule.ii)
+
+The underlying objects stay public for direct use::
 
     from repro import kernels, two_cluster, GPScheduler
 
@@ -44,6 +55,17 @@ from .machine import (
     unified,
 )
 from .partition import MultilevelPartitioner, Partition
+from .service import (
+    EvaluationRequest,
+    EvaluationResponse,
+    MachineRegistry,
+    RegistryError,
+    ReproService,
+    RequestError,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulerRegistry,
+)
 from .schedule import (
     FixedPartitionScheduler,
     GPScheduler,
@@ -64,6 +86,8 @@ __all__ = [
     "DataDependenceGraph",
     "Dependence",
     "DepKind",
+    "EvaluationRequest",
+    "EvaluationResponse",
     "FixedPartitionScheduler",
     "GPScheduler",
     "GraphError",
@@ -71,6 +95,7 @@ __all__ = [
     "Loop",
     "LoopBuilder",
     "MachineConfig",
+    "MachineRegistry",
     "ModuloSchedule",
     "MultilevelPartitioner",
     "OpClass",
@@ -78,8 +103,14 @@ __all__ = [
     "Operation",
     "Partition",
     "PartitionError",
+    "RegistryError",
     "ReproError",
+    "ReproService",
+    "RequestError",
     "ScheduleOutcome",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulerRegistry",
     "SchedulingError",
     "UnifiedScheduler",
     "UracamScheduler",

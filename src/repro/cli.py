@@ -1,5 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command is a thin request builder over the typed service façade
+(:mod:`repro.service`): arguments become
+:class:`~repro.service.requests.ScheduleRequest` /
+:class:`~repro.service.requests.EvaluationRequest` objects, names
+resolve through the scheduler/machine registries, and one
+:class:`~repro.service.session.ReproService` session per invocation
+owns the worker pool (and the response cache every figure panel within
+that invocation shares).
+
 Commands:
 
 * ``schedule`` — schedule one kernel (or a JSON loop file) on a machine
@@ -41,16 +50,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 from .errors import ReproError
 from .ir.serialize import load as load_loop
 from .ir.stats import describe
 from .machine.config import MachineConfig
-from .machine.dsp import DSP_PRESETS
-from .machine.presets import clustered, table1_configurations, unified
-from .schedule.drivers import SCHEDULERS
+from .machine.presets import table1_configurations
+from .machine.spec import parse_machine_spec
 from .schedule.expand import render_kernel
+from .service import MACHINES, SCHEDULERS, ReproService, ScheduleRequest
 from .workloads.kernels import KERNELS
 from .workloads.spec import (
     PROGRAM_NAMES,
@@ -62,51 +72,49 @@ from .workloads.spec import (
 
 
 def parse_machine(spec: str) -> MachineConfig:
-    """Parse a machine spec: ``NxR[xB[xL]]`` or a DSP preset name.
+    """Deprecated: use :func:`repro.machine.parse_machine_spec`.
 
-    ``2x32`` = 2 clusters, 32 total registers; optional third/fourth fields
-    set the bus count and bus latency (``4x64x2x2``).  ``1xR`` is the
-    unified machine.  Preset names: ``c6x``, ``lx``, ``tigersharc``.
+    Thin shim over the canonical parser (which also backs the service
+    façade's :data:`~repro.service.MACHINES` registry); kept so old
+    scripts keep running, with a :class:`DeprecationWarning`.
     """
-    if spec in DSP_PRESETS:
-        return DSP_PRESETS[spec]()
-    parts = spec.lower().split("x")
-    try:
-        numbers = [int(p) for p in parts]
-    except ValueError:
-        raise ReproError(
-            f"bad machine spec {spec!r}; use NxR[xB[xL]] or one of "
-            f"{sorted(DSP_PRESETS)}"
-        ) from None
-    if len(numbers) < 2:
-        raise ReproError(f"bad machine spec {spec!r}")
-    num_clusters, registers = numbers[0], numbers[1]
-    buses = numbers[2] if len(numbers) > 2 else 1
-    latency = numbers[3] if len(numbers) > 3 else 1
-    if num_clusters == 1:
-        return unified(registers)
-    return clustered(num_clusters, registers, buses, latency)
+    warnings.warn(
+        "repro.cli.parse_machine() is deprecated; use "
+        "repro.machine.parse_machine_spec() or the "
+        "repro.service.MACHINES registry",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return parse_machine_spec(spec)
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    machine = parse_machine(args.machine)
     if args.loop_file:
-        loop = load_loop(args.loop_file)
+        request = ScheduleRequest(
+            loop=load_loop(args.loop_file),
+            machine=args.machine,
+            scheduler=args.algorithm,
+            # One interactive loop: the independent full recheck is nearly
+            # free and keeps this command's validation engine-independent.
+            full_recheck=True,
+        )
     else:
         if args.kernel not in KERNELS:
             print(f"unknown kernel {args.kernel!r}; available: {sorted(KERNELS)}")
             return 2
-        loop = KERNELS[args.kernel]()
-    scheduler_cls = SCHEDULERS[args.algorithm]
-    outcome = scheduler_cls(machine).schedule(loop)
-    print(describe(loop))
-    print(f"machine: {machine.describe()}")
+        request = ScheduleRequest(
+            kernel=args.kernel,
+            machine=args.machine,
+            scheduler=args.algorithm,
+            full_recheck=True,
+        )
+    with ReproService() as service:
+        outcome = service.schedule(request).outcome
+    print(describe(outcome.loop))
+    print(f"machine: {outcome.machine.describe()}")
     print()
     if outcome.is_modulo:
         schedule = outcome.schedule
-        # One interactive loop: the independent full recheck is nearly
-        # free and keeps this command's validation engine-independent.
-        schedule.validate(full_recheck=True)
         print(render_kernel(schedule))
         print()
         stats = schedule.stats
@@ -132,7 +140,6 @@ def _pick_suite(args: argparse.Namespace):
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
-    from .eval.parallel import evaluation_pool
     from .schedule.engine import EngineOptions
 
     suite = _pick_suite(args)
@@ -142,18 +149,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # cross-checks inside the engine, plus a full_recheck validation
         # of every schedule before it is reported.
         options = EngineOptions(verify_pressure=True, validate_schedules=True)
-    with evaluation_pool(args.jobs, mp_context=args.mp_context) as pool:
+    with ReproService(
+        jobs=args.jobs, chunksize=args.chunksize, mp_context=args.mp_context
+    ) as service:
         if args.bus_latency == 2:
             panel = figure3_panel(
-                args.registers, suite=suite, jobs=args.jobs,
-                chunksize=args.chunksize, pool=pool, options=options,
-                validate_each=args.validate_each,
+                args.registers, suite=suite, options=options,
+                validate_each=args.validate_each, service=service,
             )
         else:
             panel = figure2_panel(
-                args.clusters, args.registers, suite=suite, jobs=args.jobs,
-                chunksize=args.chunksize, pool=pool, options=options,
-                validate_each=args.validate_each,
+                args.clusters, args.registers, suite=suite, options=options,
+                validate_each=args.validate_each, service=service,
             )
     if args.format == "csv":
         print(figure_to_csv(panel), end="")
@@ -186,29 +193,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time as _time
 
     from .eval.figures import table2
-    from .eval.parallel import evaluation_pool, resolve_jobs
 
     suite = _pick_suite(args)
-    machine = parse_machine(args.machine)
-    jobs = resolve_jobs(args.jobs)
-    cpu_count = os.cpu_count() or 1
-    oversubscribed = jobs > cpu_count
-    if oversubscribed:
-        # The per-loop timers measure elapsed time, so more workers than
-        # cores inflates every number through contention: annotate instead
-        # of letting the artifact silently report a "slowdown".
-        print(
-            f"warning: --jobs {jobs} oversubscribes this host "
-            f"({cpu_count} CPU{'s' if cpu_count != 1 else ''}); parallel "
-            "wall clock measures contention, not speedup",
-            file=sys.stderr,
-        )
-    started = _time.perf_counter()
-    with evaluation_pool(jobs, mp_context=args.mp_context) as pool:
-        result = table2(
-            suite, [machine], jobs=jobs, chunksize=args.chunksize, pool=pool
-        )
-    wall_seconds = _time.perf_counter() - started
+    with ReproService(
+        jobs=args.jobs, chunksize=args.chunksize, mp_context=args.mp_context
+    ) as service:
+        machine = service.resolve_machine(args.machine)
+        jobs = service.jobs
+        cpu_count = os.cpu_count() or 1
+        oversubscribed = jobs > cpu_count
+        if oversubscribed:
+            # The per-loop timers measure elapsed time, so more workers than
+            # cores inflates every number through contention: annotate instead
+            # of letting the artifact silently report a "slowdown".
+            print(
+                f"warning: --jobs {jobs} oversubscribes this host "
+                f"({cpu_count} CPU{'s' if cpu_count != 1 else ''}); parallel "
+                "wall clock measures contention, not speedup",
+                file=sys.stderr,
+            )
+        started = _time.perf_counter()
+        result = table2(suite, [machine], service=service)
+        wall_seconds = _time.perf_counter() - started
     print(result.render())
     config = result.configs[0]
     per = result.seconds[config]
@@ -245,8 +251,8 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     for config in table1_configurations():
         print(f"  {config.describe()}")
     print("DSP presets:")
-    for name, factory in sorted(DSP_PRESETS.items()):
-        print(f"  {name}: {factory().describe()}")
+    for name in MACHINES.names():
+        print(f"  {name}: {MACHINES.resolve(name).describe()}")
     return 0
 
 
@@ -266,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--machine", default="2x32",
                          help="NxR[xB[xL]] or c6x/lx/tigersharc")
     p_sched.add_argument("--algorithm", default="gp",
-                         choices=sorted(SCHEDULERS))
+                         choices=SCHEDULERS.names())
     p_sched.set_defaults(func=_cmd_schedule)
 
     def add_suite_options(p) -> None:

@@ -31,12 +31,7 @@ from ..machine.presets import (
     unified,
 )
 from ..partition.partitioner import MultilevelPartitioner
-from ..schedule.drivers import (
-    FixedPartitionScheduler,
-    GPScheduler,
-    UnifiedScheduler,
-    UracamScheduler,
-)
+from ..schedule.drivers import GPScheduler
 from ..workloads.spec import Benchmark, spec_suite
 from .metrics import percent_gain
 from .report import format_table
@@ -83,34 +78,45 @@ def _panel(
     pool=None,
     options=None,
     validate_each: bool = False,
+    service=None,
 ) -> FigureResult:
-    """Run the four bars of one figure panel (one shared pool).
+    """Run the four bars of one figure panel through the service façade.
 
-    ``options`` (an :class:`~repro.schedule.engine.EngineOptions`) is
-    handed to every scheduler — the CLI's ``--verify`` paranoid mode rides
-    in on it; ``pool``/``chunksize`` feed the batch runner, and
-    ``validate_each`` re-validates every modulo schedule where it is
+    Each bar is one :class:`~repro.service.requests.EvaluationRequest`;
+    the batch goes through ``service`` (a
+    :class:`~repro.service.session.ReproService`, whose pool and
+    response cache are shared with whatever else the caller runs on it)
+    or, when none is given, an ephemeral session built from the legacy
+    ``jobs``/``chunksize``/``pool`` knobs.  ``options`` (an
+    :class:`~repro.schedule.engine.EngineOptions`) is handed to every
+    scheduler — the CLI's ``--verify`` paranoid mode rides in on it —
+    and ``validate_each`` re-validates every modulo schedule where it is
     produced (the CLI's ``--validate-each`` sweep-integrated check).
     """
-    from .parallel import run_requests
+    from ..service import EvaluationRequest, ReproService
 
-    schedulers = {
-        "unified": UnifiedScheduler(unified_machine, options=options),
-        "uracam": UracamScheduler(clustered_machine, options=options),
-        "fixed-partition": FixedPartitionScheduler(clustered_machine, options=options),
-        "gp": GPScheduler(clustered_machine, options=options),
-    }
-    suite_results = run_requests(
-        [(schedulers[label], suite) for label in SERIES_ORDER],
-        jobs=jobs,
-        chunksize=chunksize,
-        pool=pool,
-        validate_each=validate_each,
-    )
+    requests = [
+        EvaluationRequest(
+            scheduler=label,
+            machine=unified_machine if label == "unified" else clustered_machine,
+            suite=tuple(suite),
+            options=options,
+            validate_each=validate_each,
+        )
+        for label in SERIES_ORDER
+    ]
+    owns_service = service is None
+    if owns_service:
+        service = ReproService(jobs=jobs, chunksize=chunksize, pool=pool)
+    try:
+        responses = service.evaluate_many(requests)
+    finally:
+        if owns_service:
+            service.close()
     result = FigureResult(title=title, benchmarks=[b.name for b in suite])
-    for label, suite_result in zip(SERIES_ORDER, suite_results):
+    for label, response in zip(SERIES_ORDER, responses):
         result.series[label] = [
-            suite_result.per_benchmark[b.name].ipc for b in suite
+            response.result.per_benchmark[b.name].ipc for b in suite
         ]
     return result
 
@@ -124,6 +130,7 @@ def figure2_panel(
     pool=None,
     options=None,
     validate_each: bool = False,
+    service=None,
 ) -> FigureResult:
     """One of Figure 2's four panels (1 bus, 1-cycle latency)."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -140,6 +147,7 @@ def figure2_panel(
         pool=pool,
         options=options,
         validate_each=validate_each,
+        service=service,
     )
 
 
@@ -148,20 +156,21 @@ def figure2(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     pool=None,
+    service=None,
 ) -> List[FigureResult]:
     """All four Figure 2 panels (2/4 clusters x 32/64 registers).
 
-    With ``jobs != 1`` and no caller-provided ``pool``, all four panels
-    share one :func:`~repro.eval.parallel.evaluation_pool` instead of
-    spawning a fresh pool per panel.
+    Without a caller-provided ``service``, all four panels share one
+    ephemeral :class:`~repro.service.session.ReproService` (one worker
+    pool, one response cache) instead of spawning per panel.
     """
-    from .parallel import evaluation_pool
+    from ..service import ReproService
 
-    if pool is None and jobs != 1:
-        with evaluation_pool(jobs) as shared:
-            return figure2(suite, jobs=jobs, chunksize=chunksize, pool=shared)
+    if service is None:
+        with ReproService(jobs=jobs, chunksize=chunksize, pool=pool) as shared:
+            return figure2(suite, service=shared)
     return [
-        figure2_panel(nc, regs, suite, jobs=jobs, chunksize=chunksize, pool=pool)
+        figure2_panel(nc, regs, suite, service=service)
         for nc in (2, 4)
         for regs in (32, 64)
     ]
@@ -175,6 +184,7 @@ def figure3_panel(
     pool=None,
     options=None,
     validate_each: bool = False,
+    service=None,
 ) -> FigureResult:
     """One Figure 3 panel: 4 clusters, 1 bus with 2-cycle latency."""
     suite = list(suite) if suite is not None else spec_suite()
@@ -191,6 +201,7 @@ def figure3_panel(
         pool=pool,
         options=options,
         validate_each=validate_each,
+        service=service,
     )
 
 
@@ -199,15 +210,16 @@ def figure3(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     pool=None,
+    service=None,
 ) -> List[FigureResult]:
-    """Both Figure 3 panels (32 and 64 registers), sharing one pool."""
-    from .parallel import evaluation_pool
+    """Both Figure 3 panels (32 and 64 registers), sharing one session."""
+    from ..service import ReproService
 
-    if pool is None and jobs != 1:
-        with evaluation_pool(jobs) as shared:
-            return figure3(suite, jobs=jobs, chunksize=chunksize, pool=shared)
+    if service is None:
+        with ReproService(jobs=jobs, chunksize=chunksize, pool=pool) as shared:
+            return figure3(suite, service=shared)
     return [
-        figure3_panel(regs, suite, jobs=jobs, chunksize=chunksize, pool=pool)
+        figure3_panel(regs, suite, service=service)
         for regs in (32, 64)
     ]
 
@@ -265,17 +277,20 @@ def table2(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     pool=None,
+    service=None,
 ) -> Table2Result:
     """Regenerate Table 2: scheduling CPU time per algorithm.
 
-    With ``jobs != 1`` every (machine, scheduler) combination's loops go
-    through one shared worker pool; each loop's scheduling time is still
-    measured inside its worker.  Note the per-loop timer is elapsed time
-    (``perf_counter``), so oversubscribing the host (more workers than
-    spare cores) inflates the reported seconds through contention —
-    compare timing tables at matching ``jobs`` values.
+    Every (machine, scheduler) combination is one
+    :class:`~repro.service.requests.EvaluationRequest` and the whole
+    batch goes through one service session (one shared worker pool);
+    each loop's scheduling time is still measured inside its worker.
+    Note the per-loop timer is elapsed time (``perf_counter``), so
+    oversubscribing the host (more workers than spare cores) inflates
+    the reported seconds through contention — compare timing tables at
+    matching ``jobs`` values.
     """
-    from .parallel import run_requests
+    from ..service import EvaluationRequest, ReproService
 
     suite = list(suite) if suite is not None else spec_suite()
     if machines is None:
@@ -285,20 +300,23 @@ def table2(
             four_cluster(32),
             four_cluster(64),
         ]
-    schedulers = [
-        cls(machine)
+    requests = [
+        EvaluationRequest(scheduler=name, machine=machine, suite=tuple(suite))
         for machine in machines
-        for cls in (UracamScheduler, FixedPartitionScheduler, GPScheduler)
+        for name in ("uracam", "fixed-partition", "gp")
     ]
-    results = run_requests(
-        [(scheduler, suite) for scheduler in schedulers],
-        jobs=jobs,
-        chunksize=chunksize,
-        pool=pool,
-    )
+    owns_service = service is None
+    if owns_service:
+        service = ReproService(jobs=jobs, chunksize=chunksize, pool=pool)
+    try:
+        responses = service.evaluate_many(requests)
+    finally:
+        if owns_service:
+            service.close()
     seconds: Dict[str, Dict[str, float]] = {m.name: {} for m in machines}
-    for scheduler, result in zip(schedulers, results):
-        seconds[scheduler.machine.name][scheduler.name] = (
+    for response in responses:
+        result = response.result
+        seconds[result.machine][result.scheduler] = (
             result.total_cpu_seconds / max(1, len(suite))
         )
     return Table2Result(configs=[m.name for m in machines], seconds=seconds)

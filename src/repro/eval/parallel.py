@@ -16,6 +16,11 @@ Entry points:
   startup cost is amortized over the whole experiment.
 * :func:`run_suite_parallel` — one suite with one scheduler
   (``run_suite(..., jobs=N)`` delegates here).
+* :func:`submit_suite` / :func:`as_completed_suites` — the streaming
+  interface: submit whole (scheduler, suite) evaluations without
+  blocking and consume :class:`SuiteTask` results in completion order
+  (what :meth:`repro.service.session.ReproService.submit` /
+  ``as_completed`` are built on).
 * :func:`evaluation_pool` — a context-managed pool that *several*
   ``run_requests`` calls inside one CLI invocation reuse, so small suites
   do not pay the spawn cost per call::
@@ -193,6 +198,30 @@ def evaluation_pool(
 _TaskKey = Tuple[int, int, int]
 
 
+def _assemble_suite_result(
+    scheduler: BaseScheduler,
+    suite: Sequence[Benchmark],
+    outcomes: Dict[_TaskKey, ScheduleOutcome],
+    request_index: int = 0,
+) -> SuiteResult:
+    """Deterministic merge: outcomes by key back into suite order.
+
+    Shared by :func:`run_requests` and :class:`SuiteTask` so the merge
+    the bit-identity contract rests on exists exactly once.
+    """
+    result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
+    for b, benchmark in enumerate(suite):
+        bench_result = BenchmarkResult(
+            benchmark=benchmark.name,
+            scheduler=scheduler.name,
+            machine=scheduler.machine.name,
+        )
+        for i in range(len(benchmark.loops)):
+            bench_result.outcomes.append(outcomes[(request_index, b, i)])
+        result.per_benchmark[benchmark.name] = bench_result
+    return result
+
+
 class _ChunkItemFailure(Exception):
     """Worker-side wrapper naming which chunk item raised.
 
@@ -320,22 +349,10 @@ def run_requests(
         if owns_pool:
             pool.shutdown()
 
-    results = []
-    for r, (scheduler, suite) in enumerate(requests):
-        result = SuiteResult(
-            scheduler=scheduler.name, machine=scheduler.machine.name
-        )
-        for b, benchmark in enumerate(suite):
-            bench_result = BenchmarkResult(
-                benchmark=benchmark.name,
-                scheduler=scheduler.name,
-                machine=scheduler.machine.name,
-            )
-            for i in range(len(benchmark.loops)):
-                bench_result.outcomes.append(outcomes[(r, b, i)])
-            result.per_benchmark[benchmark.name] = bench_result
-        results.append(result)
-    return results
+    return [
+        _assemble_suite_result(scheduler, suite, outcomes, request_index=r)
+        for r, (scheduler, suite) in enumerate(requests)
+    ]
 
 
 def _task_error(
@@ -352,6 +369,155 @@ def _task_error(
         scheduler=scheduler.name,
         cause=cause,
     )
+
+
+class SuiteTask:
+    """One in-flight (scheduler, suite) evaluation.
+
+    Created by :func:`submit_suite`.  On a worker pool the per-loop
+    chunks are already submitted and :meth:`result` merges them (in
+    suite order, deterministically — same contract as
+    :func:`run_requests`) once they finish; without a pool the task is
+    *lazy* and the sequential run happens at the first :meth:`result`
+    call.  A per-loop failure or worker death surfaces from
+    :meth:`result` as the same :class:`LoopTaskError` the batch entry
+    points raise.
+    """
+
+    def __init__(
+        self,
+        scheduler: BaseScheduler,
+        suite: Sequence[Benchmark],
+        validate_each: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.suite = list(suite)
+        self.validate_each = validate_each
+        self._futures: Dict[object, List[_TaskKey]] = {}
+        self._result: Optional[SuiteResult] = None
+        self._error: Optional[BaseException] = None
+        self._finished = False
+
+    def done(self) -> bool:
+        """True once :meth:`result` will not block.
+
+        A lazy (poolless) task reports ``True`` immediately: its
+        sequential run happens inline at the :meth:`result` call.
+        """
+        if self._finished or not self._futures:
+            return True
+        return all(f.done() for f in self._futures)
+
+    def result(self) -> SuiteResult:
+        """The merged :class:`SuiteResult` (blocks until available)."""
+        if not self._finished:
+            try:
+                if self._futures:
+                    self._result = self._merge()
+                else:
+                    self._result = run_suite(
+                        self.suite,
+                        self.scheduler,
+                        validate_each=self.validate_each,
+                    )
+            except BaseException as error:
+                self._error = error
+            self._finished = True
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _task_error(self, key: _TaskKey, cause: BaseException) -> LoopTaskError:
+        return _task_error([(self.scheduler, self.suite)], key, cause)
+
+    def _merge(self) -> SuiteResult:
+        outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
+        try:
+            done, _ = wait(self._futures, return_when=FIRST_EXCEPTION)
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    if isinstance(error, _ChunkItemFailure):
+                        raise self._task_error(error.key, error.cause)
+                    raise self._task_error(self._futures[future][0], error)
+                for key, outcome in future.result():
+                    outcomes[key] = outcome
+        except BrokenProcessPool as error:
+            pending = sorted(
+                key
+                for keys in self._futures.values()
+                for key in keys
+                if key not in outcomes
+            )
+            raise self._task_error(
+                pending[0] if pending else (0, 0, 0), error
+            ) from error
+        return _assemble_suite_result(self.scheduler, self.suite, outcomes)
+
+
+def submit_suite(
+    scheduler: BaseScheduler,
+    suite: Sequence[Benchmark],
+    pool: Optional[EvaluationPool] = None,
+    chunksize: Optional[int] = None,
+    validate_each: bool = False,
+) -> SuiteTask:
+    """Submit one (scheduler, suite) evaluation without blocking on it.
+
+    The streaming counterpart of :func:`run_requests`: work starts in
+    ``pool``'s workers immediately, the caller keeps submitting, and
+    :func:`as_completed_suites` yields tasks as whole suites finish.
+    Without a pool (or with a 1-worker pool) the task degenerates to a
+    lazy sequential run, so callers need no special-casing at
+    ``jobs=1``.
+    """
+    task = SuiteTask(scheduler, suite, validate_each=validate_each)
+    if pool is None or pool.jobs == 1:
+        return task
+    items = [
+        ((0, b, i), loop)
+        for b, benchmark in enumerate(task.suite)
+        for i, loop in enumerate(benchmark.loops)
+    ]
+    size = resolve_chunksize(chunksize, len(items), pool.jobs)
+    executor = pool.executor()
+    for start in range(0, len(items), size):
+        chunk = items[start : start + size]
+        future = executor.submit(_run_chunk, scheduler, chunk, validate_each)
+        task._futures[future] = [key for key, _loop in chunk]
+    return task
+
+
+def as_completed_suites(tasks: Sequence[SuiteTask]) -> Iterator[SuiteTask]:
+    """Yield tasks as their suites complete (lazy tasks in given order).
+
+    Pool-backed tasks are yielded in *completion* order, as soon as the
+    last of their chunks lands; lazy sequential tasks are yielded first,
+    in submission order (their work runs when the caller asks for
+    ``result()``).  Yielded tasks are ``done()``; failures still raise
+    only from :meth:`SuiteTask.result`.
+    """
+    from concurrent.futures import as_completed
+
+    tasks = list(tasks)
+    owner: Dict[object, SuiteTask] = {}
+    outstanding: Dict[int, set] = {}
+    for task in tasks:
+        if task._finished or not task._futures:
+            continue
+        for future in task._futures:
+            owner[future] = task
+        outstanding[id(task)] = set(task._futures)
+    for task in tasks:
+        if task._finished or not task._futures:
+            yield task
+    for future in as_completed(owner):
+        task = owner[future]
+        pending = outstanding[id(task)]
+        pending.discard(future)
+        if not pending:
+            yield task
 
 
 def run_suite_parallel(

@@ -12,6 +12,7 @@ from .presets import (
     unified,
 )
 from .resources import FU_KINDS, ResourceKind, unit_for
+from .spec import parse_machine_spec
 
 __all__ = [
     "DSP_PRESETS",
@@ -25,6 +26,7 @@ __all__ = [
     "four_cluster",
     "homogeneous_machine",
     "lx_like",
+    "parse_machine_spec",
     "tigersharc_like",
     "tms320c6x_like",
     "table1_configurations",

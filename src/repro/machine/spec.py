@@ -1,0 +1,70 @@
+"""The canonical machine-spec parser.
+
+One textual convention names every machine the tools accept, shared by
+the CLI, the :class:`~repro.service.registry.MachineRegistry` and the
+tests (it used to live, duplicated, in ``repro.cli``):
+
+* ``NxR[xB[xL]]`` — ``N`` clusters sharing ``R`` total registers, with
+  an optional bus count ``B`` (default 1) and bus latency ``L`` (default
+  1).  ``2x32`` is the paper's 2-cluster/32-register machine;
+  ``4x64x2x2`` adds two 2-cycle buses.  ``1xR`` is the unified machine.
+* a DSP preset name — ``c6x``, ``lx``, ``tigersharc`` (see
+  :mod:`repro.machine.dsp`).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .config import MachineConfig
+from .dsp import DSP_PRESETS
+from .presets import clustered, unified
+
+
+def looks_like_machine_spec(spec: str) -> bool:
+    """Whether ``spec`` matches either naming convention *syntactically*.
+
+    True for DSP preset names and well-formed ``NxR[xB[xL]]`` strings —
+    including ones :func:`parse_machine_spec` will still reject on
+    semantic grounds (resources that do not divide evenly, a
+    non-positive latency).  Lets callers with their own namespaces (the
+    service's machine registry) distinguish "not a machine spec at all"
+    from "a machine spec describing an invalid machine".
+    """
+    if spec in DSP_PRESETS:
+        return True
+    parts = spec.lower().split("x")
+    if not 2 <= len(parts) <= 4:
+        return False
+    try:
+        [int(p) for p in parts]
+    except ValueError:
+        return False
+    return True
+
+
+def parse_machine_spec(spec: str) -> MachineConfig:
+    """Parse a machine spec: ``NxR[xB[xL]]`` or a DSP preset name.
+
+    Raises:
+        ConfigError: if the spec matches neither convention, or the
+            resulting configuration is invalid (resources that do not
+            divide evenly among the clusters, a non-positive latency).
+    """
+    if spec in DSP_PRESETS:
+        return DSP_PRESETS[spec]()
+    parts = spec.lower().split("x")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ConfigError(
+            f"bad machine spec {spec!r}; use NxR[xB[xL]] or one of "
+            f"{sorted(DSP_PRESETS)}"
+        ) from None
+    if not 2 <= len(numbers) <= 4:
+        raise ConfigError(f"bad machine spec {spec!r}")
+    num_clusters, registers = numbers[0], numbers[1]
+    buses = numbers[2] if len(numbers) > 2 else 1
+    latency = numbers[3] if len(numbers) > 3 else 1
+    if num_clusters == 1:
+        return unified(registers)
+    return clustered(num_clusters, registers, buses, latency)

@@ -316,7 +316,9 @@ class SchedulingEngine:
         # dependence/FU/bus validator passes read, retiring their
         # full-sweep rechecks on engine-produced schedules.
         structural = StructuralAnalysis.from_table(
-            self.table, dep_edges=count_edges(schedule)
+            self.table,
+            dep_edges=count_edges(schedule),
+            placements=schedule.placements,
         )
         if self.options.verify_pressure:
             structural.verify(schedule)

@@ -235,31 +235,27 @@ class ModuloSchedule:
     # Independent validation
     # ------------------------------------------------------------------
     def validate(self, full_recheck: bool = False) -> None:
-        """Re-verify dependences, resources and registers.
+        """Re-verify placements, dependences, resources and registers.
 
-        The dependence/functional-unit/bus passes read the cached
-        :attr:`structural` session and the register bound reads the
-        cached :attr:`analysis` session — O(occupancy rows) instead of
-        O(edges + placements + uses) per schedule.  With
+        Every pass reads the cached sessions: the placement and
+        dependence/functional-unit/bus checks come off the
+        :attr:`structural` session (the placement pass reads a
+        per-cluster count/uid-range summary in O(clusters) — no pass
+        sweeps every uid, edge or placement any more) and the register
+        bound reads the cached :attr:`analysis` session.  With
         ``full_recheck=True`` both sessions are rebuilt from the raw
         schedule instead, and a cached session that diverged from its
         rebuild is itself a validation failure (stale or corrupted
         session).  Property tests run the paranoid mode; big sweeps use
         the cached default.
         """
-        self._validate_placements()
-        self._validate_structure(full_recheck)
+        structural = self._checked_structural(full_recheck)
+        structural.check_placements(self.machine, self.loop.num_operations)
+        structural.check(self.machine)
         self._validate_registers(full_recheck)
 
-    def _validate_placements(self) -> None:
-        for uid in self.loop.ddg.uids():
-            if uid not in self.placements:
-                raise ValidationError(f"operation {uid} is not scheduled")
-            cluster = self.placements[uid].cluster
-            if not 0 <= cluster < self.machine.num_clusters:
-                raise ValidationError(f"operation {uid} on bogus cluster {cluster}")
-
-    def _validate_structure(self, full_recheck: bool = False) -> None:
+    def _checked_structural(self, full_recheck: bool = False) -> StructuralAnalysis:
+        """The structural session to validate against (rebuilt if asked)."""
         structural = self._structural
         if full_recheck or structural is None:
             reference = StructuralAnalysis.from_schedule(self)
@@ -273,7 +269,7 @@ class ModuloSchedule:
                     "schedule (stale or corrupted StructuralAnalysis session)"
                 )
             structural = self._structural = reference
-        structural.check(self.machine)
+        return structural
 
     def _validate_registers(self, full_recheck: bool = False) -> None:
         analysis = self._analysis

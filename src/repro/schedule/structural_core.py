@@ -45,7 +45,7 @@ from .values import LOAD_LATENCY, ValueState
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.config import MachineConfig
     from .mrt import ReservationTable
-    from .result import ModuloSchedule
+    from .result import ModuloSchedule, Placed
 
 #: A functional-unit occupancy key: one (cluster, op-class) row.
 FUKey = Tuple[int, OpClass]
@@ -194,6 +194,33 @@ def count_edges(schedule: "ModuloSchedule") -> int:
     return schedule.loop.ddg.num_edges
 
 
+#: One cluster's placement summary: (placements, lowest uid, highest uid).
+PlacementRow = Tuple[int, int, int]
+
+
+def placement_rows(
+    placements: Dict[int, "Placed"]
+) -> Dict[int, PlacementRow]:
+    """Per-cluster placement summaries: count plus the hosted uid range.
+
+    The reference placement sweep.  Uids are dense from 0 (a
+    :class:`~repro.ir.ddg.DataDependenceGraph` invariant), so the
+    summary is a *complete* placement check, not a heuristic: ``n``
+    distinct placed uids, all within ``[0, n)``, are exactly the full
+    uid set — which is what :meth:`StructuralAnalysis.check_placements`
+    verifies in O(clusters) instead of O(uids).
+    """
+    rows: Dict[int, PlacementRow] = {}
+    for uid, placed in placements.items():
+        row = rows.get(placed.cluster)
+        if row is None:
+            rows[placed.cluster] = (1, uid, uid)
+        else:
+            count, lo, hi = row
+            rows[placed.cluster] = (count + 1, min(lo, uid), max(hi, uid))
+    return rows
+
+
 # ----------------------------------------------------------------------
 # The session
 # ----------------------------------------------------------------------
@@ -217,6 +244,7 @@ class StructuralAnalysis:
         dep_edges: int,
         dep_error: Optional[str] = None,
         bus_error: Optional[str] = None,
+        placements: Optional[Dict[int, PlacementRow]] = None,
     ) -> None:
         self.ii = ii
         self.fu_rows = fu_rows
@@ -224,22 +252,31 @@ class StructuralAnalysis:
         self.dep_edges = dep_edges
         self.dep_error = dep_error
         self.bus_error = bus_error
+        #: Per-cluster (count, min uid, max uid) placement summary; see
+        #: :func:`placement_rows`.
+        self.placements = placements or {}
 
     @classmethod
     def from_table(
-        cls, table: "ReservationTable", dep_edges: int
+        cls,
+        table: "ReservationTable",
+        dep_edges: int,
+        placements: Optional[Dict[int, "Placed"]] = None,
     ) -> "StructuralAnalysis":
         """Adopt a scheduling engine's live reservation state.
 
         The engine only ever commits candidates whose dependences were
         satisfied at commit time, so the handed-over session records the
-        full edge count and no violation.
+        full edge count and no violation.  ``placements`` (the engine's
+        committed placement map) is summarized once here, so the
+        validator's placement pass never re-sweeps uids.
         """
         return cls(
             ii=table.ii,
             fu_rows=table.fu_occupancy_rows(),
             bus_rows=table.bus_occupancy_rows(),
             dep_edges=dep_edges,
+            placements=placement_rows(placements or {}),
         )
 
     @classmethod
@@ -258,11 +295,39 @@ class StructuralAnalysis:
             dep_edges=count_edges(schedule),
             dep_error=dep_error,
             bus_error=bus_error,
+            placements=placement_rows(schedule.placements),
         )
 
     # ------------------------------------------------------------------
     # Cached validation
     # ------------------------------------------------------------------
+    def check_placements(
+        self, machine: "MachineConfig", expected_ops: int
+    ) -> None:
+        """Validate the placement summary in O(clusters).
+
+        ``expected_ops`` is the loop's operation count; uids are dense
+        from 0, so ``expected_ops`` distinct placed uids all within
+        ``[0, expected_ops)`` are exactly the full uid set (see
+        :func:`placement_rows`).
+        """
+        total = 0
+        for cluster, (count, lo, hi) in self.placements.items():
+            if not 0 <= cluster < machine.num_clusters:
+                raise ValidationError(
+                    f"{count} operation(s) on bogus cluster {cluster}"
+                )
+            if lo < 0 or hi >= expected_ops:
+                raise ValidationError(
+                    f"cluster {cluster} hosts uids outside [0, "
+                    f"{expected_ops}): range [{lo}, {hi}]"
+                )
+            total += count
+        if total != expected_ops:
+            raise ValidationError(
+                f"{total} of {expected_ops} operations are scheduled"
+            )
+
     def check(self, machine: "MachineConfig") -> None:
         """Validate the cached structural state against the machine.
 
@@ -303,6 +368,7 @@ class StructuralAnalysis:
             and self.dep_edges == other.dep_edges
             and self.dep_error == other.dep_error
             and self.bus_error == other.bus_error
+            and self.placements == other.placements
         )
 
     def verify(self, schedule: "ModuloSchedule") -> None:
@@ -313,6 +379,11 @@ class StructuralAnalysis:
         handover honest against the sweeps the validator trusts.
         """
         reference = StructuralAnalysis.from_schedule(schedule)
+        if self.placements != reference.placements:
+            raise AssertionError(
+                f"placement summary diverged: session {self.placements} "
+                f"!= reference {reference.placements}"
+            )
         if self.fu_rows != reference.fu_rows:
             raise AssertionError(
                 f"FU occupancy rows diverged: session {self.fu_rows} "

@@ -1,0 +1,55 @@
+"""The typed service façade: the library's single public entry point.
+
+``repro.service`` wraps the scheduling and evaluation machinery behind
+request/response contracts and one long-lived session object:
+
+* :class:`~repro.service.requests.ScheduleRequest` /
+  :class:`~repro.service.requests.EvaluationRequest` — frozen,
+  construction-validated, deterministically fingerprintable descriptions
+  of work;
+* :class:`~repro.service.responses.ScheduleResponse` /
+  :class:`~repro.service.responses.EvaluationResponse` — envelopes
+  wrapping the classic result objects with timing, cache and validation
+  metadata;
+* :class:`~repro.service.registry.SchedulerRegistry` /
+  :class:`~repro.service.registry.MachineRegistry` — pluggable name
+  lookups with structured unknown-name errors (these replace the bare
+  ``SCHEDULERS`` dict and the CLI-private machine parser, which survive
+  as deprecation shims);
+* :class:`~repro.service.session.ReproService` — the session that owns
+  the worker pool, resolves the registries, memoizes responses by
+  request fingerprint and exposes ``schedule()`` / ``evaluate()`` plus
+  the streaming ``submit()`` / ``as_completed()`` batch interface.
+
+The CLI, the figure harness and the benchmarks are all thin request
+builders over this package; see ``examples/service_quickstart.py``.
+"""
+
+from .registry import (
+    MACHINES,
+    SCHEDULERS,
+    MachineRegistry,
+    Registry,
+    RegistryError,
+    SchedulerRegistry,
+)
+from .requests import EvaluationRequest, RequestError, ScheduleRequest
+from .responses import EvaluationResponse, ResponseMeta, ScheduleResponse
+from .session import BatchHandle, ReproService
+
+__all__ = [
+    "BatchHandle",
+    "EvaluationRequest",
+    "EvaluationResponse",
+    "MACHINES",
+    "MachineRegistry",
+    "Registry",
+    "RegistryError",
+    "ReproService",
+    "RequestError",
+    "ResponseMeta",
+    "SCHEDULERS",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulerRegistry",
+]

@@ -6,34 +6,44 @@ import pytest
 
 from repro.cli import build_parser, main, parse_machine
 from repro.errors import ReproError
+from repro.machine.spec import parse_machine_spec
 
 
-class TestParseMachine:
+class TestParseMachineSpec:
+    """The canonical parser (repro.machine.spec) the CLI/registry share."""
+
     def test_simple_spec(self):
-        machine = parse_machine("2x32")
+        machine = parse_machine_spec("2x32")
         assert machine.num_clusters == 2
         assert machine.total_registers == 32
 
     def test_unified_spec(self):
-        machine = parse_machine("1x64")
+        machine = parse_machine_spec("1x64")
         assert not machine.is_clustered
 
     def test_full_spec(self):
-        machine = parse_machine("4x64x2x2")
+        machine = parse_machine_spec("4x64x2x2")
         assert machine.num_clusters == 4
         assert machine.num_buses == 2
         assert machine.bus_latency == 2
 
     def test_dsp_preset(self):
-        machine = parse_machine("c6x")
+        machine = parse_machine_spec("c6x")
         assert machine.num_clusters == 2
         assert machine.issue_width == 8
 
     def test_bad_spec(self):
         with pytest.raises(ReproError):
-            parse_machine("banana")
+            parse_machine_spec("banana")
         with pytest.raises(ReproError):
-            parse_machine("2")
+            parse_machine_spec("2")
+        with pytest.raises(ReproError):
+            parse_machine_spec("2x32x1x1x9")
+
+    def test_cli_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning):
+            machine = parse_machine("2x32")
+        assert machine == parse_machine_spec("2x32")
 
 
 class TestCommands:

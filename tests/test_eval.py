@@ -6,6 +6,7 @@ from repro.eval.metrics import aggregate_ipc, arithmetic_mean, percent_gain, spe
 from repro.eval.report import format_bar_chart, format_table
 from repro.eval.runner import make_scheduler, run_benchmark, run_suite
 from repro.machine.presets import two_cluster, unified
+from repro.service import SCHEDULERS
 from repro.workloads.spec import Benchmark, make_benchmark
 from repro.workloads.kernels import daxpy, stencil5
 
@@ -42,17 +43,22 @@ class TestRunner:
     def make_mini_benchmark(self):
         return Benchmark(name="mini", loops=(daxpy(), stencil5()))
 
-    def test_make_scheduler_by_name(self):
-        s = make_scheduler("gp", two_cluster(64))
+    def test_make_scheduler_shim_warns_but_works(self):
+        # The legacy entry point survives as a deprecation shim over the
+        # service registry: same result, plus a DeprecationWarning.
+        with pytest.warns(DeprecationWarning):
+            s = make_scheduler("gp", two_cluster(64))
         assert s.name == "gp"
 
-    def test_make_scheduler_unknown(self):
-        with pytest.raises(KeyError):
-            make_scheduler("nope", two_cluster(64))
+    def test_make_scheduler_shim_unknown_still_keyerror(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                make_scheduler("nope", two_cluster(64))
 
     def test_run_benchmark_collects_all_loops(self):
         result = run_benchmark(
-            self.make_mini_benchmark(), make_scheduler("uracam", two_cluster(64))
+            self.make_mini_benchmark(),
+            SCHEDULERS.create("uracam", two_cluster(64)),
         )
         assert len(result.outcomes) == 2
         assert 0 < result.ipc <= 12
@@ -60,13 +66,13 @@ class TestRunner:
 
     def test_modulo_fraction(self):
         result = run_benchmark(
-            self.make_mini_benchmark(), make_scheduler("gp", two_cluster(64))
+            self.make_mini_benchmark(), SCHEDULERS.create("gp", two_cluster(64))
         )
         assert 0 <= result.modulo_fraction <= 1
 
     def test_run_suite_shape(self):
         suite = [self.make_mini_benchmark()]
-        result = run_suite(suite, make_scheduler("unified", unified(64)))
+        result = run_suite(suite, SCHEDULERS.create("unified", unified(64)))
         assert set(result.per_benchmark) == {"mini"}
         assert result.average_ipc > 0
 

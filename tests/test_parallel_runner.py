@@ -23,7 +23,8 @@ from repro.eval.parallel import (
     run_requests,
     run_suite_parallel,
 )
-from repro.eval.runner import make_scheduler, run_suite
+from repro.eval.runner import run_suite
+from repro.service import SCHEDULERS
 from repro.errors import ReproError
 from repro.machine.presets import two_cluster
 from repro.schedule.drivers import BaseScheduler, GPScheduler, UracamScheduler
@@ -141,7 +142,7 @@ class TestDeterministicMerge:
 
     @pytest.fixture(scope="class")
     def sequential_export(self, paper_suite):
-        result = run_suite(paper_suite, make_scheduler("gp", two_cluster(32)))
+        result = run_suite(paper_suite, SCHEDULERS.create("gp", two_cluster(32)))
         return suite_result_to_json(result, timing=False)
 
     @pytest.mark.parametrize(
@@ -161,7 +162,7 @@ class TestDeterministicMerge:
     ):
         result = run_suite(
             paper_suite,
-            make_scheduler("gp", two_cluster(32)),
+            SCHEDULERS.create("gp", two_cluster(32)),
             jobs=jobs,
             chunksize=chunksize,
         )
@@ -174,7 +175,7 @@ class TestDeterministicMerge:
         if mp_context not in multiprocessing.get_all_start_methods():
             pytest.skip(f"{mp_context} unavailable on this platform")
         result = run_requests(
-            [(make_scheduler("gp", two_cluster(32)), paper_suite)],
+            [(SCHEDULERS.create("gp", two_cluster(32)), paper_suite)],
             jobs=2,
             mp_context=mp_context,
         )[0]
@@ -188,7 +189,7 @@ class TestDeterministicMerge:
         merged results stay byte-identical."""
         result = run_suite(
             paper_suite,
-            make_scheduler("gp", two_cluster(32)),
+            SCHEDULERS.create("gp", two_cluster(32)),
             jobs=jobs,
             validate_each=True,
         )

@@ -34,7 +34,7 @@ from repro.schedule.drivers import (
 from repro.schedule.engine import EngineOptions
 from repro.schedule.mrt import BusSlot
 from repro.schedule.result import AuxOp, ModuloSchedule, Placed
-from repro.schedule.structural_core import StructuralAnalysis
+from repro.schedule.structural_core import StructuralAnalysis, placement_rows
 from repro.schedule.values import BusTransfer
 from repro.workloads.generator import LoopShape, generate_loop
 
@@ -227,6 +227,94 @@ def test_full_recheck_catches_stale_structural_cache(shape, seed):
     with pytest.raises(ValidationError):
         sched.validate(full_recheck=True)
     with pytest.raises(AssertionError):
+        sched._structural.verify(sched)
+
+
+# ----------------------------------------------------------------------
+# Placement summary: count + per-cluster uid ranges
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_engine_placement_summary_matches_reference(shape, seed):
+    outcome = _outcome(shape, seed)
+    if not outcome.is_modulo:
+        return
+    sched = outcome.schedule
+    session = sched._structural
+    assert session.placements == placement_rows(sched.placements)
+    total = sum(count for count, _lo, _hi in session.placements.values())
+    assert total == sched.loop.num_operations
+
+
+def test_cached_placement_pass_rejects_missing_and_bogus_raw_placements():
+    outcome = _outcome(
+        LoopShape(14, mem_ratio=0.3, depth_bias=0.3, trip_count=60), seed=3
+    )
+    assert outcome.is_modulo
+    sched = outcome.schedule
+    # Session-less schedule with a dropped placement: the lazily derived
+    # summary comes up one operation short.
+    broken = _clone(sched)
+    del broken.placements[max(broken.placements)]
+    with pytest.raises(ValidationError, match="operations are scheduled"):
+        broken.validate()
+    # Session-less schedule with an out-of-range cluster.
+    broken = _clone(sched)
+    uid = min(broken.placements)
+    broken.placements[uid] = Placed(97, broken.placements[uid].time)
+    with pytest.raises(ValidationError, match="bogus cluster"):
+        broken.validate()
+
+
+def test_corrupted_placement_summary_rejected_by_cached_pass():
+    outcome = _outcome(
+        LoopShape(14, mem_ratio=0.3, depth_bias=0.3, trip_count=60), seed=5
+    )
+    assert outcome.is_modulo
+    sched = outcome.schedule
+    session = sched._structural
+    pristine = dict(session.placements)
+    # A summary entry on a nonexistent cluster.
+    session.placements = dict(pristine)
+    session.placements[42] = (1, 0, 0)
+    with pytest.raises(ValidationError, match="bogus cluster"):
+        sched.validate()
+    # A uid range outside the loop's dense [0, n) uid space.
+    session.placements = {
+        cluster: (count, lo, hi + 1000)
+        for cluster, (count, lo, hi) in pristine.items()
+    }
+    with pytest.raises(ValidationError, match="uids outside"):
+        sched.validate()
+    # An inflated count (total no longer matches the operation count).
+    cluster, (count, lo, hi) = next(iter(pristine.items()))
+    session.placements = dict(pristine)
+    session.placements[cluster] = (count + 1, lo, hi)
+    with pytest.raises(ValidationError, match="operations are scheduled"):
+        sched.validate()
+    session.placements = pristine
+    sched.validate()
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=loop_shapes, seed=seeds)
+def test_full_recheck_catches_stale_placement_summary(shape, seed):
+    outcome = _outcome(shape, seed, machine=four_cluster(64))
+    if not outcome.is_modulo:
+        return
+    sched = outcome.schedule
+    assert sched._structural is not None
+    # Move one placement to another (valid) cluster behind the cached
+    # session: the stale summary still balances, but the paranoid
+    # rebuild must notice the divergence.
+    uid = min(sched.placements)
+    placed = sched.placements[uid]
+    sched.placements[uid] = Placed(
+        (placed.cluster + 1) % sched.machine.num_clusters, placed.time
+    )
+    with pytest.raises(ValidationError):
+        sched.validate(full_recheck=True)
+    with pytest.raises(AssertionError, match="placement summary"):
         sched._structural.verify(sched)
 
 

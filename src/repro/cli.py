@@ -36,6 +36,14 @@ is the production posture: every modulo schedule is re-validated through
 the cached sessions, in the worker that produced it, so the
 sweep-integrated validation cost is measured rather than skipped.
 
+Parallel runs are fault tolerant: worker deaths and deadline misses are
+retried on a self-healing pool (``--max-attempts``, ``--deadline``),
+degrading to in-process execution if workers keep dying — results stay
+bit-identical throughout.  ``evaluate --keep-going`` collects per-loop
+failures into a report (stderr, exit code 3) instead of aborting;
+``--fault-plan`` injects a deterministic JSON fault plan for testing
+the machinery itself (see :mod:`repro.eval.faults`).
+
 Examples::
 
     python -m repro schedule --kernel daxpy --machine 2x32 --algorithm gp
@@ -60,7 +68,14 @@ from .machine.config import MachineConfig
 from .machine.presets import table1_configurations
 from .machine.spec import parse_machine_spec
 from .schedule.expand import render_kernel
-from .service import MACHINES, SCHEDULERS, ReproService, ScheduleRequest
+from .service import (
+    MACHINES,
+    SCHEDULERS,
+    FaultPlan,
+    ReproService,
+    RetryPolicy,
+    ScheduleRequest,
+)
 from .workloads.kernels import KERNELS
 from .workloads.spec import (
     PROGRAM_NAMES,
@@ -137,6 +152,26 @@ def _pick_suite(args: argparse.Namespace):
     return suite[: args.programs] if args.programs else suite
 
 
+def _fault_tolerance_kwargs(args: argparse.Namespace) -> dict:
+    """``ReproService`` fault-tolerance arguments from suite options.
+
+    The CLI always runs with the production retry posture (transients
+    are retried, the pool self-heals, degradation beats aborting) —
+    with no faults this changes nothing observable, since retries only
+    engage on worker death, hangs, or deadline misses.
+    """
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        deadline=args.deadline,
+    )
+    faults = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    return {
+        "policy": policy,
+        "faults": faults,
+        "keep_going": getattr(args, "keep_going", False),
+    }
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
@@ -150,7 +185,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # of every schedule before it is reported.
         options = EngineOptions(verify_pressure=True, validate_schedules=True)
     with ReproService(
-        jobs=args.jobs, chunksize=args.chunksize, mp_context=args.mp_context
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        mp_context=args.mp_context,
+        **_fault_tolerance_kwargs(args),
     ) as service:
         if args.bus_latency == 2:
             panel = figure3_panel(
@@ -173,6 +211,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"GP over URACAM: {panel.gain_percent('gp', 'uracam'):+.1f}%  "
             f"GP over Fixed: {panel.gain_percent('gp', 'fixed-partition'):+.1f}%"
         )
+    if args.keep_going:
+        # Stderr, so csv/json stdout (and the CI byte-diff) stay clean.
+        report = service.failure_report()
+        print(report.render(), file=sys.stderr)
+        if report:
+            return 3
     return 0
 
 
@@ -196,7 +240,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     suite = _pick_suite(args)
     with ReproService(
-        jobs=args.jobs, chunksize=args.chunksize, mp_context=args.mp_context
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        mp_context=args.mp_context,
+        **_fault_tolerance_kwargs(args),
     ) as service:
         machine = service.resolve_machine(args.machine)
         jobs = service.jobs
@@ -228,7 +275,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"suite wall clock: {wall_seconds:.2f}s (jobs={jobs})")
     if args.json:
         payload = {
-            "schema": "repro-bench-cli/v2",
+            "schema": "repro-bench-cli/v3",
             "machine": config,
             "suite": args.suite,
             "benchmarks": len(suite),
@@ -238,6 +285,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "oversubscribed": oversubscribed,
             "cpu_seconds_per_benchmark": dict(per),
             "wall_seconds": wall_seconds,
+            # What the fault-tolerance layer had to do during the run
+            # (all zeros on a healthy host: no retries, no rebuilds).
+            "fault_tolerance": service.telemetry.to_dict(),
         }
         with open(args.json, "w") as handle:
             _json.dump(payload, handle, indent=2, sort_keys=True)
@@ -293,6 +343,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker start method (default: forkserver "
                        "where the platform offers it; results are "
                        "identical under either)")
+        p.add_argument("--max-attempts", type=int, default=3,
+                       help="executions allowed per work chunk before a "
+                       "transient fault (worker death, deadline miss) "
+                       "gives up (1 = never retry)")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-chunk wall-clock deadline; a chunk "
+                       "held past it is retried on a rebuilt pool "
+                       "(default: none)")
+        p.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="JSON fault-injection plan (testing/CI "
+                       "only): injects worker crashes/hangs/raises at "
+                       "planned loops to exercise the retry layer")
 
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
@@ -306,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-validate every modulo schedule through "
                         "its cached sessions as it is produced (the "
                         "sweep-integrated validation cost)")
+    p_eval.add_argument("--keep-going", action="store_true",
+                        help="partial-results mode: collect per-loop "
+                        "failures into a failure report (printed to "
+                        "stderr; exit code 3) instead of aborting on "
+                        "the first one")
     add_suite_options(p_eval)
     p_eval.add_argument("--format", default="table",
                         choices=("table", "csv", "json"))

@@ -1,12 +1,13 @@
-"""Parallel batch execution of suite evaluations.
+"""Parallel batch execution of suite evaluations, with fault tolerance.
 
 The sequential :mod:`~repro.eval.runner` schedules one loop at a time;
 this module fans the same per-loop work items out over a ``spawn``-safe
 :class:`~concurrent.futures.ProcessPoolExecutor` and merges the outcomes
 back **in suite order**, so results are bit-identical to the sequential
-path regardless of worker count, chunk size or completion order
-(scheduling is fully deterministic; only the measured ``cpu_seconds`` are
-wall-clock noise, exactly as they are between two sequential runs).
+path regardless of worker count, chunk size, completion order — or how
+many times a chunk had to be retried (scheduling is fully deterministic;
+only the measured ``cpu_seconds`` are wall-clock noise, exactly as they
+are between two sequential runs).
 
 Entry points:
 
@@ -49,25 +50,80 @@ batching amortizes it on thousands-of-loops tiers.  The merge indexes
 outcomes by their (request, benchmark, loop) key, so chunk boundaries
 never affect results.
 
-A worker that raises — or dies outright, taking the pool down — surfaces
-as a :class:`LoopTaskError` naming the benchmark and loop, instead of a
-hung pool or an anonymous ``BrokenProcessPool``.
+Failure semantics
+-----------------
+
+Every dispatch failure is classified (see :mod:`repro.eval.retry`):
+
+* **transient** — the worker died (``BrokenProcessPool``, from a future
+  *or* from ``executor.submit`` itself mid-dispatch) or a chunk missed
+  the :class:`~repro.eval.retry.RetryPolicy` deadline (a hung worker).
+  The pool is rebuilt (hung/dead workers terminated, a fresh executor
+  spawned), every outstanding chunk is resubmitted, and the affected
+  chunk retries with deterministic exponential backoff until
+  ``max_attempts``.  After ``max_rebuilds`` rebuilds the runner stops
+  trusting worker processes and **degrades** the remaining chunks to
+  in-process sequential execution — slower, but the batch completes.
+* **deterministic** — the task raised inside the worker (the scheduler
+  failed on that loop's content).  Never retried: it surfaces
+  immediately as a :class:`LoopTaskError` naming the benchmark and
+  loop, or, under ``keep_going``, is recorded as a
+  :class:`~repro.eval.retry.LoopFailure` on the result's failure report
+  while the rest of the batch keeps running.
+
+The default ``policy=None`` means :meth:`RetryPolicy.none` — the legacy
+fail-fast behaviour (no retries, first fault aborts).  The service
+session and the CLI opt into the production posture.
+
+``faults`` accepts a :class:`~repro.eval.faults.FaultPlan` (test/CI
+only): a deterministic plan of injected worker crashes, hangs and
+raises, used by the property suites to prove that results under
+injected transient faults are bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ReproError
+from ..errors import DeadlineExceededError, ReproError
 from ..ir.loop import Loop
 from ..schedule.drivers import BaseScheduler, ScheduleOutcome
 from ..workloads.spec import Benchmark
+from .faults import FaultPlan
+from .retry import (
+    DETERMINISTIC,
+    TRANSIENT,
+    FailureReport,
+    LoopFailure,
+    RetryPolicy,
+    RunTelemetry,
+)
 from .runner import BenchmarkResult, SuiteResult, run_suite
+
+__all__ = [
+    "EvaluationPool",
+    "FailureReport",
+    "LoopFailure",
+    "LoopTaskError",
+    "RetryPolicy",
+    "RunTelemetry",
+    "SuiteTask",
+    "as_completed_suites",
+    "evaluation_pool",
+    "resolve_chunksize",
+    "resolve_jobs",
+    "resolve_mp_context",
+    "run_requests",
+    "run_suite_parallel",
+    "submit_suite",
+]
 
 
 class LoopTaskError(ReproError):
@@ -148,12 +204,19 @@ def resolve_chunksize(
 
 
 class EvaluationPool:
-    """A lazily spawned, reusable worker pool for ``run_requests`` calls.
+    """A lazily spawned, reusable, **rebuildable** worker pool.
 
     The executor is created on first use and kept alive until
     :meth:`shutdown`, so several batch calls within one CLI invocation
     share the same worker processes.  ``jobs == 1`` never spawns anything
     (callers take the in-process sequential path).
+
+    The retry layer heals a broken or wedged pool through
+    :meth:`rebuild`: surviving workers are terminated (a hung worker
+    never drains its queue, so waiting is not an option) and a fresh
+    executor replaces the old one.  :meth:`shutdown` is idempotent and
+    safe on a broken executor — a pool that died mid-batch must not
+    raise again from ``evaluation_pool()``'s ``finally``.
     """
 
     def __init__(
@@ -162,6 +225,8 @@ class EvaluationPool:
         self.jobs = resolve_jobs(jobs)
         self.mp_context = resolve_mp_context(mp_context)
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Lifetime count of :meth:`rebuild` calls (telemetry).
+        self.rebuilds = 0
 
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -177,9 +242,38 @@ class EvaluationPool:
         return self._executor
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(cancel_futures=True)
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(cancel_futures=True)
+        except Exception:
+            # A broken executor (dead workers, closed queues) may raise
+            # mid-teardown; there is nothing left to release cleanly.
+            pass
+
+    def rebuild(self) -> ProcessPoolExecutor:
+        """Tear down the current executor — killing its workers — and
+        spawn a fresh one.
+
+        Termination is deliberate: after a crash the executor is broken
+        anyway, and after a deadline hit the wedged worker would never
+        finish, so a graceful shutdown could block forever.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        self.rebuilds += 1
+        return self.executor()
 
 
 @contextmanager
@@ -197,19 +291,56 @@ def evaluation_pool(
 #: A work unit key: (request index, benchmark index, loop index).
 _TaskKey = Tuple[int, int, int]
 
+#: A dispatchable item: key, benchmark name (for fault plans and failure
+#: records) and the loop itself.
+_Item = Tuple[_TaskKey, str, Loop]
+
+
+@dataclass
+class _Chunk:
+    """One dispatchable batch of loops, with its retry bookkeeping."""
+
+    index: int
+    request_index: int
+    scheduler: BaseScheduler
+    items: List[_Item]
+    #: Executions so far — the 0-based attempt number the *next*
+    #: execution runs as (fault plans key on it).
+    attempts: int = 0
+    deadline_hits: int = 0
+    submitted_at: float = field(default=0.0, repr=False)
+
+
+@dataclass(frozen=True)
+class _ItemFailure:
+    """Worker-side record of one failed item under ``keep_going``.
+
+    The original exception is flattened to (type name, message) so the
+    record pickles back to the parent no matter what the scheduler threw.
+    """
+
+    error_type: str
+    message: str
+
 
 def _assemble_suite_result(
     scheduler: BaseScheduler,
     suite: Sequence[Benchmark],
     outcomes: Dict[_TaskKey, ScheduleOutcome],
     request_index: int = 0,
+    failures: Optional[Dict[_TaskKey, LoopFailure]] = None,
 ) -> SuiteResult:
     """Deterministic merge: outcomes by key back into suite order.
 
     Shared by :func:`run_requests` and :class:`SuiteTask` so the merge
-    the bit-identity contract rests on exists exactly once.
+    the bit-identity contract rests on exists exactly once.  Keys
+    recorded in ``failures`` (keep-going mode) are skipped — their
+    :class:`LoopFailure` records ride on the result instead; a key in
+    neither map is a merge bug and raises.
     """
+    failures = failures or {}
     result = SuiteResult(scheduler=scheduler.name, machine=scheduler.machine.name)
+    lost: List[LoopFailure] = []
     for b, benchmark in enumerate(suite):
         bench_result = BenchmarkResult(
             benchmark=benchmark.name,
@@ -217,8 +348,13 @@ def _assemble_suite_result(
             machine=scheduler.machine.name,
         )
         for i in range(len(benchmark.loops)):
-            bench_result.outcomes.append(outcomes[(request_index, b, i)])
+            key = (request_index, b, i)
+            if key in failures:
+                lost.append(failures[key])
+            else:
+                bench_result.outcomes.append(outcomes[key])
         result.per_benchmark[benchmark.name] = bench_result
+    result.failures = tuple(lost)
     return result
 
 
@@ -237,9 +373,12 @@ class _ChunkItemFailure(Exception):
 
 def _run_chunk(
     scheduler: BaseScheduler,
-    items: Sequence[Tuple[_TaskKey, Loop]],
+    items: Sequence[_Item],
     validate_each: bool = False,
-) -> List[Tuple[_TaskKey, ScheduleOutcome]]:
+    attempt: int = 0,
+    faults: Optional[FaultPlan] = None,
+    keep_going: bool = False,
+) -> List[Tuple[_TaskKey, Union[ScheduleOutcome, _ItemFailure]]]:
     """Worker entry point (module-level: picklable under ``spawn``).
 
     ``validate_each`` validates each modulo schedule *here*, while the
@@ -247,17 +386,407 @@ def _run_chunk(
     outcome is pickled back to the parent), so the sweep pays the cached
     validation cost it is trying to measure — and a validation failure
     surfaces as a :class:`LoopTaskError` naming the loop.
+
+    ``attempt`` is the chunk's 0-based execution count, keying the
+    ``faults`` plan (test/CI only).  Under ``keep_going`` a failing item
+    becomes an :class:`_ItemFailure` record in the returned list and the
+    chunk keeps going; otherwise the first failure raises
+    :class:`_ChunkItemFailure` naming the item.
     """
-    out: List[Tuple[_TaskKey, ScheduleOutcome]] = []
-    for key, loop in items:
+    out: List[Tuple[_TaskKey, Union[ScheduleOutcome, _ItemFailure]]] = []
+    for key, benchmark, loop in items:
         try:
+            if faults is not None:
+                faults.maybe_fire(benchmark, loop.name, attempt, in_worker=True)
             outcome = scheduler.schedule(loop)
             if validate_each and outcome.is_modulo:
                 outcome.schedule.validate()
             out.append((key, outcome))
         except Exception as error:
+            if keep_going:
+                out.append(
+                    (key, _ItemFailure(type(error).__name__, str(error)))
+                )
+                continue
             raise _ChunkItemFailure(key, error) from error
     return out
+
+
+class _ChunkDispatcher:
+    """The retrying dispatch/merge core shared by the batch and
+    streaming entry points.
+
+    Owns the in-flight futures, classifies failures, rebuilds the pool
+    on transient faults, enforces per-chunk deadlines, degrades to
+    in-process execution after the rebuild budget, and collects
+    keep-going failures — all while keeping the merge deterministic
+    (outcomes are keyed, never ordered).
+    """
+
+    def __init__(
+        self,
+        pool: EvaluationPool,
+        policy: Optional[RetryPolicy],
+        faults: Optional[FaultPlan],
+        keep_going: bool,
+        validate_each: bool,
+        telemetry: RunTelemetry,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy if policy is not None else RetryPolicy.none()
+        self.faults = faults
+        self.keep_going = keep_going
+        self.validate_each = validate_each
+        self.telemetry = telemetry
+        self.pending: Dict[object, _Chunk] = {}
+        self.queue: List[_Chunk] = []
+        self.outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
+        self.failures: Dict[_TaskKey, LoopFailure] = {}
+        self.rebuilds = 0
+        self.degraded = False
+        #: key -> (benchmark, loop name, scheduler name) for error text.
+        self._names: Dict[_TaskKey, Tuple[str, str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, chunks: Sequence[_Chunk]) -> None:
+        for chunk in chunks:
+            for key, benchmark, loop in chunk.items:
+                self._names[key] = (benchmark, loop.name, chunk.scheduler.name)
+        self.telemetry.chunks += len(chunks)
+        self.queue.extend(chunks)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Dispatch everything queued (or run it in-process once degraded).
+
+        ``executor.submit`` itself raising ``BrokenProcessPool`` — the
+        mid-submit worker-death race — is handled here as a transient:
+        the chunk goes back on the queue and the pool is rebuilt.
+        """
+        while self.queue:
+            chunk = self.queue.pop(0)
+            if self.degraded:
+                self._run_inprocess(chunk)
+                continue
+            try:
+                future = self.pool.executor().submit(
+                    _run_chunk,
+                    chunk.scheduler,
+                    chunk.items,
+                    self.validate_each,
+                    chunk.attempts,
+                    self.faults,
+                    self.keep_going,
+                )
+            except BrokenProcessPool as error:
+                self.queue.insert(0, chunk)
+                self._rebuild_or_degrade(error)
+                continue
+            self.telemetry.record_attempt(first=chunk.attempts == 0)
+            chunk.attempts += 1
+            chunk.submitted_at = time.monotonic()
+            self.pending[future] = chunk
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def drain(
+        self,
+    ) -> Tuple[Dict[_TaskKey, ScheduleOutcome], Dict[_TaskKey, LoopFailure]]:
+        self._pump()
+        while self.pending:
+            done, _ = wait(
+                set(self.pending),
+                timeout=self._wait_timeout(),
+                return_when=FIRST_COMPLETED,
+            )
+            broken: Optional[BaseException] = None
+            for future in done:
+                chunk = self.pending.pop(future, None)
+                if chunk is None:
+                    continue
+                error = future.exception()
+                if error is None:
+                    self._collect(chunk, future.result())
+                elif isinstance(error, _ChunkItemFailure):
+                    # The task itself raised: deterministic, fail fast.
+                    raise self._loop_error(error.key, error.cause) from error.cause
+                elif isinstance(error, BrokenProcessPool):
+                    broken = error
+                    self.queue.append(chunk)
+                else:
+                    # Unclassifiable infrastructure failure: treat like a
+                    # deterministic fault rather than retrying blindly.
+                    raise self._loop_error(chunk.items[0][0], error) from error
+            if broken is not None:
+                self._rebuild_or_degrade(broken)
+            elif self.policy.deadline is not None:
+                self._expire_deadlines()
+            self._pump()
+        return self.outcomes, self.failures
+
+    def _wait_timeout(self) -> Optional[float]:
+        if self.policy.deadline is None or not self.pending:
+            return None
+        earliest = min(c.submitted_at for c in self.pending.values())
+        remaining = earliest + self.policy.deadline - time.monotonic()
+        return max(0.0, remaining) + 0.01
+
+    def _collect(
+        self,
+        chunk: _Chunk,
+        payloads: Sequence[Tuple[_TaskKey, Union[ScheduleOutcome, _ItemFailure]]],
+    ) -> None:
+        for key, payload in payloads:
+            if isinstance(payload, _ItemFailure):
+                self._record_failure(
+                    key,
+                    DETERMINISTIC,
+                    payload.error_type,
+                    payload.message,
+                    chunk.attempts,
+                )
+            else:
+                self.outcomes[key] = payload
+        self.telemetry.chunk_attempts.append(chunk.attempts)
+
+    # ------------------------------------------------------------------
+    # Transient-fault handling
+    # ------------------------------------------------------------------
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (future, chunk)
+            for future, chunk in self.pending.items()
+            if now - chunk.submitted_at >= self.policy.deadline
+        ]
+        if not expired:
+            return
+        retry: List[_Chunk] = []
+        given_up: List[Tuple[_Chunk, DeadlineExceededError]] = []
+        for future, chunk in expired:
+            del self.pending[future]
+            future.cancel()
+            chunk.deadline_hits += 1
+            self.telemetry.deadline_hits += 1
+            cause = DeadlineExceededError(self.policy.deadline, chunk.attempts)
+            if chunk.attempts >= self.policy.max_attempts:
+                given_up.append((chunk, cause))
+            else:
+                retry.append(chunk)
+        # The wedged workers hold pool slots; heal the pool first so any
+        # give-up raise below leaves a healthy (terminable) pool behind.
+        self._rebuild_or_degrade(
+            DeadlineExceededError(self.policy.deadline, expired[0][1].attempts)
+        )
+        for chunk, cause in given_up:
+            self._give_up(chunk, cause)
+        for chunk in retry:
+            self.policy.sleep(
+                self.policy.backoff_seconds(chunk.index, chunk.attempts)
+            )
+            self.queue.append(chunk)
+        self.queue.sort(key=lambda c: c.index)
+
+    def _rebuild_or_degrade(self, cause: BaseException) -> None:
+        """Transient fault: rebuild the pool, or stop trusting it.
+
+        In-flight chunks are pulled back onto the queue (a rebuild kills
+        their workers; re-execution is safe because the merge is keyed
+        and scheduling deterministic).  Past the rebuild budget the
+        dispatcher degrades to in-process execution — or, without the
+        fallback, aborts naming the first pending work item (the legacy
+        fail-fast surface).
+        """
+        for future in list(self.pending):
+            self.queue.append(self.pending.pop(future))
+        self.queue.sort(key=lambda c: c.index)
+        if self.rebuilds >= self.policy.max_rebuilds:
+            if self.policy.fallback_sequential:
+                if not self.degraded:
+                    self.degraded = True
+            else:
+                pending_keys = sorted(
+                    key
+                    for chunk in self.queue
+                    for key, _benchmark, _loop in chunk.items
+                    if key not in self.outcomes
+                )
+                key = pending_keys[0] if pending_keys else (0, 0, 0)
+                raise self._loop_error(key, cause) from cause
+        else:
+            self.rebuilds += 1
+            self.telemetry.rebuilds += 1
+            self.policy.sleep(self.policy.backoff_seconds("rebuild", self.rebuilds))
+            self.pool.rebuild()
+
+    def _give_up(self, chunk: _Chunk, cause: BaseException) -> None:
+        """A chunk exhausted its transient-retry budget."""
+        if not self.keep_going:
+            raise self._loop_error(chunk.items[0][0], cause) from cause
+        for key, _benchmark, _loop in chunk.items:
+            if key not in self.outcomes:
+                self._record_failure(
+                    key,
+                    TRANSIENT,
+                    type(cause).__name__,
+                    str(cause),
+                    chunk.attempts,
+                )
+        self.telemetry.chunk_attempts.append(chunk.attempts)
+
+    # ------------------------------------------------------------------
+    # Degraded (in-process) execution
+    # ------------------------------------------------------------------
+    def _run_inprocess(self, chunk: _Chunk) -> None:
+        attempt = chunk.attempts
+        self.telemetry.record_attempt(first=attempt == 0)
+        self.telemetry.degraded_chunks += 1
+        chunk.attempts += 1
+        for key, benchmark, loop in chunk.items:
+            if key in self.outcomes:
+                continue
+            try:
+                if self.faults is not None:
+                    # Process faults (crash/hang) cannot fire in-process;
+                    # deterministic "raise" faults still do.
+                    self.faults.maybe_fire(
+                        benchmark, loop.name, attempt, in_worker=False
+                    )
+                outcome = chunk.scheduler.schedule(loop)
+                if self.validate_each and outcome.is_modulo:
+                    outcome.schedule.validate()
+                self.outcomes[key] = outcome
+            except Exception as error:
+                if not self.keep_going:
+                    raise self._loop_error(key, error) from error
+                self._record_failure(
+                    key,
+                    DETERMINISTIC,
+                    type(error).__name__,
+                    str(error),
+                    chunk.attempts,
+                )
+        self.telemetry.chunk_attempts.append(chunk.attempts)
+
+    # ------------------------------------------------------------------
+    # Failure plumbing
+    # ------------------------------------------------------------------
+    def _record_failure(
+        self, key: _TaskKey, kind: str, error_type: str, message: str, attempts: int
+    ) -> None:
+        benchmark, loop_name, scheduler = self._names[key]
+        self.failures[key] = LoopFailure(
+            benchmark=benchmark,
+            loop_name=loop_name,
+            scheduler=scheduler,
+            kind=kind,
+            error_type=error_type,
+            message=message,
+            attempts=attempts,
+        )
+        self.telemetry.failed_loops += 1
+
+    def _loop_error(self, key: _TaskKey, cause: BaseException) -> LoopTaskError:
+        benchmark, loop_name, scheduler = self._names[key]
+        return LoopTaskError(
+            benchmark=benchmark,
+            loop_name=loop_name,
+            scheduler=scheduler,
+            cause=cause,
+        )
+
+
+def _request_items(
+    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
+) -> List[List[_Item]]:
+    return [
+        [
+            ((r, b, i), benchmark.name, loop)
+            for b, benchmark in enumerate(suite)
+            for i, loop in enumerate(benchmark.loops)
+        ]
+        for r, (_scheduler, suite) in enumerate(requests)
+    ]
+
+
+def _make_chunks(
+    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
+    chunksize: Optional[int],
+    jobs: int,
+) -> List[_Chunk]:
+    per_request = _request_items(requests)
+    total_items = sum(len(items) for items in per_request)
+    size = resolve_chunksize(chunksize, total_items, jobs)
+    chunks: List[_Chunk] = []
+    for r, items in enumerate(per_request):
+        for start in range(0, len(items), size):
+            chunks.append(
+                _Chunk(
+                    index=len(chunks),
+                    request_index=r,
+                    scheduler=requests[r][0],
+                    items=items[start : start + size],
+                )
+            )
+    return chunks
+
+
+def _run_requests_inprocess(
+    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
+    validate_each: bool,
+    faults: Optional[FaultPlan],
+    keep_going: bool,
+    telemetry: RunTelemetry,
+) -> List[SuiteResult]:
+    """The jobs=1 path when fault injection or keep-going is in play.
+
+    Runs every loop in-process (process faults cannot fire; ``raise``
+    faults and real scheduler failures still do) with the same failure
+    surfacing as the pooled path: :class:`LoopTaskError` naming the
+    loop, or a collected :class:`LoopFailure` under ``keep_going``.
+    """
+    results: List[SuiteResult] = []
+    for scheduler, suite in requests:
+        suite = list(suite)
+        outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
+        failures: Dict[_TaskKey, LoopFailure] = {}
+        for b, benchmark in enumerate(suite):
+            for i, loop in enumerate(benchmark.loops):
+                key = (0, b, i)
+                try:
+                    if faults is not None:
+                        faults.maybe_fire(
+                            benchmark.name, loop.name, 0, in_worker=False
+                        )
+                    outcome = scheduler.schedule(loop)
+                    if validate_each and outcome.is_modulo:
+                        outcome.schedule.validate()
+                    outcomes[key] = outcome
+                except Exception as error:
+                    if not keep_going:
+                        raise LoopTaskError(
+                            benchmark=benchmark.name,
+                            loop_name=loop.name,
+                            scheduler=scheduler.name,
+                            cause=error,
+                        ) from error
+                    failures[key] = LoopFailure(
+                        benchmark=benchmark.name,
+                        loop_name=loop.name,
+                        scheduler=scheduler.name,
+                        kind=DETERMINISTIC,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=1,
+                    )
+                    telemetry.failed_loops += 1
+        results.append(
+            _assemble_suite_result(scheduler, suite, outcomes, failures=failures)
+        )
+    return results
 
 
 def run_requests(
@@ -267,108 +796,62 @@ def run_requests(
     pool: Optional[EvaluationPool] = None,
     mp_context: Optional[str] = None,
     validate_each: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    keep_going: bool = False,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> List[SuiteResult]:
     """Evaluate every ``(scheduler, suite)`` request, sharing one pool.
 
     Returns one :class:`SuiteResult` per request, in request order, with
     benchmarks and loop outcomes in their original suite order — the
-    merge is deterministic no matter how the pool interleaves or chunks
-    the work.  With ``pool`` the caller's shared :class:`EvaluationPool`
-    is reused (its worker count and start method win over ``jobs`` /
-    ``mp_context``) and left running on return; note a failed run may
-    leave already-submitted chunks draining in a shared pool, and a
-    *died* worker breaks the pool for later calls.  ``validate_each``
-    validates each modulo schedule in the worker that produced it.
+    merge is deterministic no matter how the pool interleaves, chunks or
+    *retries* the work.  With ``pool`` the caller's shared
+    :class:`EvaluationPool` is reused (its worker count and start method
+    win over ``jobs`` / ``mp_context``) and left running on return.
+    ``validate_each`` validates each modulo schedule in the worker that
+    produced it.
+
+    ``policy`` selects the failure semantics (default: the legacy
+    fail-fast :meth:`RetryPolicy.none`); ``keep_going`` collects
+    per-loop failures on the results instead of aborting; ``faults``
+    injects a deterministic :class:`~repro.eval.faults.FaultPlan`
+    (test/CI only); ``telemetry`` is a caller-owned
+    :class:`~repro.eval.retry.RunTelemetry` the dispatch fills in.
     """
     jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
+    if telemetry is None:
+        telemetry = RunTelemetry()
     if jobs == 1:
-        return [
-            run_suite(list(suite), scheduler, validate_each=validate_each)
-            for scheduler, suite in requests
-        ]
-
-    flat: List[List[Tuple[_TaskKey, Loop]]] = []
-    for r, (_scheduler, suite) in enumerate(requests):
-        flat.append(
-            [
-                ((r, b, i), loop)
-                for b, benchmark in enumerate(suite)
-                for i, loop in enumerate(benchmark.loops)
+        if faults is None and not keep_going:
+            return [
+                run_suite(list(suite), scheduler, validate_each=validate_each)
+                for scheduler, suite in requests
             ]
+        return _run_requests_inprocess(
+            requests, validate_each, faults, keep_going, telemetry
         )
-    total_items = sum(len(items) for items in flat)
-    size = resolve_chunksize(chunksize, total_items, jobs)
 
-    outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
+    chunks = _make_chunks(requests, chunksize, jobs)
     owns_pool = pool is None
     if owns_pool:
         pool = EvaluationPool(jobs, mp_context=mp_context)
-    futures: Dict[object, List[_TaskKey]] = {}
+    dispatcher = _ChunkDispatcher(
+        pool, policy, faults, keep_going, validate_each, telemetry
+    )
     try:
-        executor = pool.executor()
-        try:
-            # Submission sits inside the try: a worker dying mid-submit
-            # makes executor.submit itself raise BrokenProcessPool.
-            for r, (scheduler, _suite) in enumerate(requests):
-                items = flat[r]
-                for start in range(0, len(items), size):
-                    chunk = items[start : start + size]
-                    future = executor.submit(
-                        _run_chunk, scheduler, chunk, validate_each
-                    )
-                    futures[future] = [key for key, _loop in chunk]
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in done:
-                error = future.exception()
-                if error is not None:
-                    if isinstance(error, _ChunkItemFailure):
-                        raise _task_error(requests, error.key, error.cause)
-                    raise _task_error(requests, futures[future][0], error)
-                for key, outcome in future.result():
-                    outcomes[key] = outcome
-            if not_done:  # pragma: no cover - only on FIRST_EXCEPTION exit
-                raise _task_error(
-                    requests,
-                    futures[next(iter(not_done))][0],
-                    RuntimeError("cancelled after another task failed"),
-                )
-        except BrokenProcessPool as error:
-            # A worker died (segfault, os._exit, OOM kill): name the work
-            # that cannot have completed rather than surfacing the bare
-            # pool failure.
-            pending = sorted(
-                key
-                for keys in futures.values()
-                for key in keys
-                if key not in outcomes
-            )
-            raise _task_error(
-                requests, pending[0] if pending else (0, 0, 0), error
-            ) from error
+        dispatcher.submit(chunks)
+        outcomes, failures = dispatcher.drain()
     finally:
         if owns_pool:
             pool.shutdown()
 
     return [
-        _assemble_suite_result(scheduler, suite, outcomes, request_index=r)
+        _assemble_suite_result(
+            scheduler, suite, outcomes, request_index=r, failures=failures
+        )
         for r, (scheduler, suite) in enumerate(requests)
     ]
-
-
-def _task_error(
-    requests: Sequence[Tuple[BaseScheduler, Sequence[Benchmark]]],
-    key: _TaskKey,
-    cause: BaseException,
-) -> LoopTaskError:
-    r, b, i = key
-    scheduler, suite = requests[r]
-    benchmark = list(suite)[b]
-    return LoopTaskError(
-        benchmark=benchmark.name,
-        loop_name=benchmark.loops[i].name,
-        scheduler=scheduler.name,
-        cause=cause,
-    )
 
 
 class SuiteTask:
@@ -381,7 +864,10 @@ class SuiteTask:
     *lazy* and the sequential run happens at the first :meth:`result`
     call.  A per-loop failure or worker death surfaces from
     :meth:`result` as the same :class:`LoopTaskError` the batch entry
-    points raise.
+    points raise — or, with a retrying :class:`RetryPolicy`, is healed
+    there: retries and pool rebuilds happen synchronously inside
+    :meth:`result`, so a task whose original futures failed transiently
+    still redeems to the full, bit-identical result.
     """
 
     def __init__(
@@ -389,20 +875,36 @@ class SuiteTask:
         scheduler: BaseScheduler,
         suite: Sequence[Benchmark],
         validate_each: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        keep_going: bool = False,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> None:
         self.scheduler = scheduler
         self.suite = list(suite)
         self.validate_each = validate_each
+        self.policy = policy
+        self.faults = faults
+        self.keep_going = keep_going
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        #: Snapshot of the initially submitted futures (what
+        #: :func:`as_completed_suites` watches); retries replace futures
+        #: inside the dispatcher without touching this snapshot.
         self._futures: Dict[object, List[_TaskKey]] = {}
+        self._dispatcher: Optional[_ChunkDispatcher] = None
         self._result: Optional[SuiteResult] = None
         self._error: Optional[BaseException] = None
         self._finished = False
 
     def done(self) -> bool:
-        """True once :meth:`result` will not block.
+        """True once :meth:`result` will not block on the *initial*
+        submission.
 
         A lazy (poolless) task reports ``True`` immediately: its
-        sequential run happens inline at the :meth:`result` call.
+        sequential run happens inline at the :meth:`result` call.  A
+        pool-backed task reports ``True`` when its originally submitted
+        futures have settled — transient-failure retries, if any, run
+        synchronously inside :meth:`result`.
         """
         if self._finished or not self._futures:
             return True
@@ -412,14 +914,25 @@ class SuiteTask:
         """The merged :class:`SuiteResult` (blocks until available)."""
         if not self._finished:
             try:
-                if self._futures:
-                    self._result = self._merge()
-                else:
+                if self._dispatcher is not None:
+                    outcomes, failures = self._dispatcher.drain()
+                    self._result = _assemble_suite_result(
+                        self.scheduler, self.suite, outcomes, failures=failures
+                    )
+                elif self.faults is None and not self.keep_going:
                     self._result = run_suite(
                         self.suite,
                         self.scheduler,
                         validate_each=self.validate_each,
                     )
+                else:
+                    self._result = _run_requests_inprocess(
+                        [(self.scheduler, self.suite)],
+                        self.validate_each,
+                        self.faults,
+                        self.keep_going,
+                        self.telemetry,
+                    )[0]
             except BaseException as error:
                 self._error = error
             self._finished = True
@@ -428,33 +941,6 @@ class SuiteTask:
         assert self._result is not None
         return self._result
 
-    def _task_error(self, key: _TaskKey, cause: BaseException) -> LoopTaskError:
-        return _task_error([(self.scheduler, self.suite)], key, cause)
-
-    def _merge(self) -> SuiteResult:
-        outcomes: Dict[_TaskKey, ScheduleOutcome] = {}
-        try:
-            done, _ = wait(self._futures, return_when=FIRST_EXCEPTION)
-            for future in done:
-                error = future.exception()
-                if error is not None:
-                    if isinstance(error, _ChunkItemFailure):
-                        raise self._task_error(error.key, error.cause)
-                    raise self._task_error(self._futures[future][0], error)
-                for key, outcome in future.result():
-                    outcomes[key] = outcome
-        except BrokenProcessPool as error:
-            pending = sorted(
-                key
-                for keys in self._futures.values()
-                for key in keys
-                if key not in outcomes
-            )
-            raise self._task_error(
-                pending[0] if pending else (0, 0, 0), error
-            ) from error
-        return _assemble_suite_result(self.scheduler, self.suite, outcomes)
-
 
 def submit_suite(
     scheduler: BaseScheduler,
@@ -462,6 +948,10 @@ def submit_suite(
     pool: Optional[EvaluationPool] = None,
     chunksize: Optional[int] = None,
     validate_each: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    keep_going: bool = False,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> SuiteTask:
     """Submit one (scheduler, suite) evaluation without blocking on it.
 
@@ -470,22 +960,31 @@ def submit_suite(
     :func:`as_completed_suites` yields tasks as whole suites finish.
     Without a pool (or with a 1-worker pool) the task degenerates to a
     lazy sequential run, so callers need no special-casing at
-    ``jobs=1``.
+    ``jobs=1``.  A pool broken at submission time is handled by the
+    retry policy like any other transient (rebuilt, or surfaced as a
+    :class:`LoopTaskError` under the fail-fast default).
     """
-    task = SuiteTask(scheduler, suite, validate_each=validate_each)
+    task = SuiteTask(
+        scheduler,
+        suite,
+        validate_each=validate_each,
+        policy=policy,
+        faults=faults,
+        keep_going=keep_going,
+        telemetry=telemetry,
+    )
     if pool is None or pool.jobs == 1:
         return task
-    items = [
-        ((0, b, i), loop)
-        for b, benchmark in enumerate(task.suite)
-        for i, loop in enumerate(benchmark.loops)
-    ]
-    size = resolve_chunksize(chunksize, len(items), pool.jobs)
-    executor = pool.executor()
-    for start in range(0, len(items), size):
-        chunk = items[start : start + size]
-        future = executor.submit(_run_chunk, scheduler, chunk, validate_each)
-        task._futures[future] = [key for key, _loop in chunk]
+    chunks = _make_chunks([(scheduler, task.suite)], chunksize, pool.jobs)
+    dispatcher = _ChunkDispatcher(
+        pool, policy, faults, keep_going, validate_each, task.telemetry
+    )
+    dispatcher.submit(chunks)
+    task._dispatcher = dispatcher
+    task._futures = {
+        future: [key for key, _benchmark, _loop in chunk.items]
+        for future, chunk in dispatcher.pending.items()
+    }
     return task
 
 
@@ -493,10 +992,13 @@ def as_completed_suites(tasks: Sequence[SuiteTask]) -> Iterator[SuiteTask]:
     """Yield tasks as their suites complete (lazy tasks in given order).
 
     Pool-backed tasks are yielded in *completion* order, as soon as the
-    last of their chunks lands; lazy sequential tasks are yielded first,
-    in submission order (their work runs when the caller asks for
-    ``result()``).  Yielded tasks are ``done()``; failures still raise
-    only from :meth:`SuiteTask.result`.
+    last of their initially submitted chunks settles; lazy sequential
+    tasks are yielded first, in submission order (their work runs when
+    the caller asks for ``result()``).  Yielded tasks are ``done()``;
+    failures still raise only from :meth:`SuiteTask.result` — and with
+    a retrying policy, transiently failed chunks are healed there
+    rather than here, so a yielded task's ``result()`` may briefly
+    block on its retries.
     """
     from concurrent.futures import as_completed
 
@@ -528,6 +1030,10 @@ def run_suite_parallel(
     pool: Optional[EvaluationPool] = None,
     mp_context: Optional[str] = None,
     validate_each: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    keep_going: bool = False,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> SuiteResult:
     """Parallel counterpart of :func:`~repro.eval.runner.run_suite`.
 
@@ -542,4 +1048,8 @@ def run_suite_parallel(
         pool=pool,
         mp_context=mp_context,
         validate_each=validate_each,
+        policy=policy,
+        faults=faults,
+        keep_going=keep_going,
+        telemetry=telemetry,
     )[0]

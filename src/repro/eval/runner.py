@@ -121,11 +121,18 @@ def run_benchmark(
 
 @dataclass
 class SuiteResult:
-    """All benchmarks under one (scheduler, machine) pair."""
+    """All benchmarks under one (scheduler, machine) pair.
+
+    ``failures`` is empty except under the parallel runner's
+    ``keep_going`` mode, where each loop that could not be scheduled is
+    recorded as a :class:`~repro.eval.retry.LoopFailure` (its outcome is
+    simply absent from ``per_benchmark``) instead of aborting the run.
+    """
 
     scheduler: str
     machine: str
     per_benchmark: Dict[str, BenchmarkResult] = field(default_factory=dict)
+    failures: tuple = ()
 
     @property
     def average_ipc(self) -> float:

@@ -25,6 +25,13 @@ The CLI, the figure harness and the benchmarks are all thin request
 builders over this package; see ``examples/service_quickstart.py``.
 """
 
+from ..eval.faults import Fault, FaultPlan
+from ..eval.retry import (
+    ExecutionTelemetry,
+    FailureReport,
+    LoopFailure,
+    RetryPolicy,
+)
 from .registry import (
     MACHINES,
     SCHEDULERS,
@@ -41,6 +48,11 @@ __all__ = [
     "BatchHandle",
     "EvaluationRequest",
     "EvaluationResponse",
+    "ExecutionTelemetry",
+    "FailureReport",
+    "Fault",
+    "FaultPlan",
+    "LoopFailure",
     "MACHINES",
     "MachineRegistry",
     "Registry",
@@ -48,6 +60,7 @@ __all__ = [
     "ReproService",
     "RequestError",
     "ResponseMeta",
+    "RetryPolicy",
     "SCHEDULERS",
     "ScheduleRequest",
     "ScheduleResponse",

@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..eval.faults import FaultPlan
 from ..eval.parallel import (
     EvaluationPool,
     SuiteTask,
@@ -41,6 +42,12 @@ from ..eval.parallel import (
     resolve_jobs,
     run_requests,
     submit_suite,
+)
+from ..eval.retry import (
+    ExecutionTelemetry,
+    FailureReport,
+    RetryPolicy,
+    RunTelemetry,
 )
 from ..eval.runner import SuiteResult
 from ..machine.config import MachineConfig
@@ -119,10 +126,28 @@ class ReproService:
         pool: Optional[EvaluationPool] = None,
         schedulers: Optional[SchedulerRegistry] = None,
         machines: Optional[MachineRegistry] = None,
+        policy: Optional[RetryPolicy] = None,
+        keep_going: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.schedulers = schedulers if schedulers is not None else SCHEDULERS
         self.machines = machines if machines is not None else MACHINES
         self.chunksize = chunksize
+        #: Failure semantics for batch dispatch.  ``None`` keeps the
+        #: library's legacy fail-fast default
+        #: (:meth:`~repro.eval.retry.RetryPolicy.none`); the CLI passes
+        #: the production retry posture.
+        self.policy = policy
+        #: Collect per-loop failures on responses instead of aborting.
+        self.keep_going = keep_going
+        #: Deterministic fault-injection plan (test/CI only).
+        self.faults = faults
+        #: Session-lifetime fault-tolerance counters; each response also
+        #: carries its own batch's frozen snapshot on ``meta.telemetry``.
+        self.telemetry = RunTelemetry()
+        #: Every loop lost across the session (keep-going mode only);
+        #: :meth:`failure_report` renders it.
+        self.failures: List = []
         self._owns_pool = pool is None
         if pool is not None:
             self._pool: Optional[EvaluationPool] = pool
@@ -149,6 +174,11 @@ class ReproService:
         if self._owns_pool and self._pool is not None:
             self._pool.shutdown()
         self._cache.clear()
+
+    def failure_report(self) -> FailureReport:
+        """Every loop the session lost so far, as one structured report
+        (empty unless ``keep_going`` runs actually failed loops)."""
+        return FailureReport(failures=tuple(self.failures))
 
     def __enter__(self) -> "ReproService":
         return self
@@ -178,6 +208,7 @@ class ReproService:
         cache_hit: bool,
         started: float,
         validated: bool,
+        telemetry: Optional[ExecutionTelemetry] = None,
     ) -> ResponseMeta:
         return ResponseMeta(
             fingerprint=fingerprint,
@@ -185,6 +216,7 @@ class ReproService:
             wall_seconds=time.perf_counter() - started,
             jobs=self.jobs,
             validated=validated,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -245,6 +277,8 @@ class ReproService:
         # The batch runner takes one validate_each flag per call, so
         # dispatch each posture's requests as one sub-batch (they still
         # share the session pool).
+        batch = RunTelemetry()
+        produced: Dict[str, SuiteResult] = {}
         for flag in (False, True):
             group = [
                 (fingerprint, request, scheduler)
@@ -262,11 +296,23 @@ class ReproService:
                 chunksize=self.chunksize,
                 pool=self._pool,
                 validate_each=flag,
+                policy=self.policy,
+                faults=self.faults,
+                keep_going=self.keep_going,
+                telemetry=batch,
             )
             for (fingerprint, _request, _scheduler), result in zip(
                 group, results
             ):
-                self._cache[fingerprint] = result
+                produced[fingerprint] = result
+                self.failures.extend(result.failures)
+                # Partial (keep-going) results are never memoized: a
+                # repeat of the request must re-attempt the lost loops,
+                # not replay the gap.
+                if not result.failures:
+                    self._cache[fingerprint] = result
+        self.telemetry.merge(batch)
+        snapshot = batch.freeze() if produced else None
         responses = []
         fresh = set(todo)  # fingerprints computed by this call, once each
         for request, fingerprint in zip(requests, fingerprints):
@@ -276,15 +322,19 @@ class ReproService:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+            # A duplicate of a partial (uncached) result still resolves
+            # through ``produced``.
+            result = produced.get(fingerprint, self._cache.get(fingerprint))
             responses.append(
                 EvaluationResponse(
                     request=request,
-                    result=self._cache[fingerprint],
+                    result=result,
                     meta=self._meta(
                         fingerprint,
                         hit,
                         started,
                         request.validation_requested(),
+                        telemetry=None if hit else snapshot,
                     ),
                 )
             )
@@ -337,6 +387,9 @@ class ReproService:
             pool=self._pool,
             chunksize=self.chunksize,
             validate_each=request.validate_each,
+            policy=self.policy,
+            faults=self.faults,
+            keep_going=self.keep_going,
         )
         self._inflight[fingerprint] = task
         return BatchHandle(self, request, fingerprint, task=task)
@@ -369,9 +422,17 @@ class ReproService:
 
     def _redeem(self, handle: BatchHandle) -> EvaluationResponse:
         result = handle._task.result()
-        self._cache.setdefault(handle.fingerprint, result)
+        if not result.failures:
+            # Partial keep-going results are never memoized (a repeat
+            # must re-attempt the lost loops).
+            self._cache.setdefault(handle.fingerprint, result)
         if self._inflight.get(handle.fingerprint) is handle._task:
             del self._inflight[handle.fingerprint]
+            # First redemption of this task: fold its fault-tolerance
+            # counters into the session totals exactly once (shared
+            # handles redeem the same task again).
+            self.telemetry.merge(handle._task.telemetry)
+            self.failures.extend(result.failures)
         request = handle.request
         return EvaluationResponse(
             request=request,
@@ -382,5 +443,6 @@ class ReproService:
                 wall_seconds=time.perf_counter() - handle._submitted,
                 jobs=self.jobs,
                 validated=request.validation_requested(),
+                telemetry=handle._task.telemetry.freeze(),
             ),
         )

@@ -123,7 +123,7 @@ class TestCommands:
         )
         assert code == 0
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-cli/v2"
+        assert payload["schema"] == "repro-bench-cli/v3"
         assert payload["suite"] == "paper"
         assert payload["jobs"] == 1
         assert payload["oversubscribed"] is False
@@ -131,6 +131,11 @@ class TestCommands:
         assert set(payload["cpu_seconds_per_benchmark"]) == {
             "uracam", "fixed-partition", "gp"
         }
+        # A healthy sequential run engages no fault-tolerance machinery.
+        fault = payload["fault_tolerance"]
+        assert fault["retries"] == 0
+        assert fault["rebuilds"] == 0
+        assert fault["failed_loops"] == 0
 
     def test_bench_warns_when_jobs_oversubscribe_host(self, tmp_path, capsys):
         import os
@@ -176,6 +181,73 @@ class TestCommands:
                 argv + ["--jobs", "2", "--mp-context", context]
             ) == 0
             assert capsys.readouterr().out == sequential
+
+    def test_evaluate_with_injected_crashes_matches_sequential(
+        self, tmp_path, capsys
+    ):
+        """The CI smoke contract: a crash plan changes nothing in stdout."""
+        from repro.eval.faults import FaultPlan
+        from repro.workloads.spec import spec_suite
+
+        argv = ["evaluate", "--programs", "2", "--format", "csv"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        plan = FaultPlan.from_seed(
+            5, spec_suite()[:2], kinds=("crash",), count=2
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json() + "\n")
+        assert main(
+            argv + ["--jobs", "2", "--fault-plan", str(path)]
+        ) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_evaluate_keep_going_reports_failures_on_stderr(
+        self, tmp_path, capsys
+    ):
+        from repro.eval.faults import Fault, FaultPlan
+        from repro.workloads.spec import spec_suite
+
+        victim = spec_suite()[0]
+        plan = FaultPlan(
+            faults=(
+                Fault(
+                    benchmark=victim.name,
+                    loop_name=victim.loops[0].name,
+                    kind="raise",
+                    attempt=None,
+                ),
+            )
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json() + "\n")
+        argv = [
+            "evaluate", "--programs", "1", "--jobs", "2",
+            "--fault-plan", str(path), "--keep-going",
+        ]
+        assert main(argv) == 3  # partial results: distinct exit code
+        captured = capsys.readouterr()
+        assert "FAILURES" in captured.err
+        assert victim.loops[0].name in captured.err
+        # Without --keep-going the same plan aborts with an error.
+        assert main(argv[:-1]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_keep_going_clean_run_reports_nothing(self, capsys):
+        argv = [
+            "evaluate", "--programs", "1", "--format", "csv", "--keep-going",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "no loop failures" in captured.err
+
+    def test_bad_fault_plan_is_a_clean_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text("{broken")
+        assert main(
+            ["evaluate", "--programs", "1", "--fault-plan", str(path)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_machines_listing(self, capsys):
         assert main(["machines"]) == 0

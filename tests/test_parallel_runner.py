@@ -15,13 +15,16 @@ import pytest
 from repro.eval.export import figure_to_csv, suite_result_to_json
 from repro.eval.figures import figure2_panel
 from repro.eval.parallel import (
+    EvaluationPool,
     LoopTaskError,
+    as_completed_suites,
     evaluation_pool,
     resolve_chunksize,
     resolve_jobs,
     resolve_mp_context,
     run_requests,
     run_suite_parallel,
+    submit_suite,
 )
 from repro.eval.runner import run_suite
 from repro.service import SCHEDULERS
@@ -264,3 +267,107 @@ class TestFailureSurfacing:
             run_suite(suite, scheduler, jobs=jobs, validate_each=True)
         assert excinfo.value.loop_name == victim
         assert "injected session corruption" in str(excinfo.value)
+
+
+def _break_pool(pool: EvaluationPool) -> None:
+    """Kill a worker so the executor is broken for everything after."""
+    from concurrent.futures import wait
+
+    future = pool.executor().submit(_exit_worker)
+    wait([future])
+    assert future.exception() is not None
+
+
+def _exit_worker():
+    os._exit(13)
+
+
+class TestPoolLifecycle:
+    """Satellite: shutdown is idempotent and safe on a broken pool."""
+
+    def test_shutdown_is_idempotent(self):
+        pool = EvaluationPool(jobs=2)
+        pool.executor()
+        pool.shutdown()
+        assert pool._executor is None
+        pool.shutdown()  # second call is a no-op, not an error
+        assert pool._executor is None
+
+    def test_shutdown_safe_after_broken_process_pool(self):
+        pool = EvaluationPool(jobs=2)
+        _break_pool(pool)
+        pool.shutdown()  # must not raise despite the broken executor
+        assert pool._executor is None
+        pool.shutdown()
+
+    def test_shutdown_without_ever_spawning(self):
+        pool = EvaluationPool(jobs=2)
+        pool.shutdown()  # nothing was spawned; still fine
+        assert pool._executor is None
+
+    def test_rebuild_replaces_a_broken_executor(self):
+        pool = EvaluationPool(jobs=2)
+        _break_pool(pool)
+        executor = pool.rebuild()
+        assert pool.rebuilds == 1
+        # The fresh executor actually works.
+        assert executor.submit(max, 2, 3).result() == 3
+        pool.shutdown()
+
+
+class TestStreamingFailures:
+    """Satellite: as_completed_suites with failing SuiteTasks."""
+
+    @pytest.fixture(scope="class")
+    def mini(self):
+        return spec_suite()[:1]
+
+    def test_failing_task_is_isolated(self, mini):
+        victim = mini[0].loops[0].name
+        machine = two_cluster(32)
+        with evaluation_pool(jobs=2) as pool:
+            good_a = submit_suite(GPScheduler(machine), mini, pool=pool)
+            bad = submit_suite(
+                _CrashingScheduler(machine, victim=victim), mini, pool=pool
+            )
+            good_b = submit_suite(UracamScheduler(machine), mini, pool=pool)
+            tasks = [good_a, bad, good_b]
+            completed = list(as_completed_suites(tasks))
+            # Every task is yielded exactly once, and yielded tasks are done.
+            assert sorted(map(id, completed)) == sorted(map(id, tasks))
+            assert all(task.done() for task in completed)
+            # The failing task raises from result() — the others don't care.
+            with pytest.raises(LoopTaskError) as excinfo:
+                bad.result()
+            assert excinfo.value.loop_name == victim
+            # ...and raises the *same* error again on re-request.
+            with pytest.raises(LoopTaskError):
+                bad.result()
+            expected = suite_result_to_json(
+                run_suite(mini, GPScheduler(machine)), timing=False
+            )
+            assert suite_result_to_json(good_a.result(), timing=False) == expected
+            assert good_b.result().scheduler == "uracam"
+
+    def test_lazy_tasks_yield_before_pool_tasks_and_fail_lazily(self, mini):
+        victim = mini[0].loops[0].name
+        machine = two_cluster(32)
+        lazy_bad = submit_suite(_CrashingScheduler(machine, victim=victim), mini)
+        lazy_good = submit_suite(GPScheduler(machine), mini)
+        order = list(as_completed_suites([lazy_bad, lazy_good]))
+        assert order == [lazy_bad, lazy_good]  # given order, no pool
+        # The lazy path is plain run_suite: the scheduler's own error
+        # propagates unwrapped, exactly as a sequential call would raise.
+        with pytest.raises(RuntimeError, match="injected scheduler crash"):
+            lazy_bad.result()
+        assert lazy_good.result().scheduler == "gp"
+
+    def test_dead_worker_surfaces_from_result_not_iteration(self, mini):
+        machine = two_cluster(32)
+        with evaluation_pool(jobs=2) as pool:
+            dying = submit_suite(_DyingScheduler(machine), mini, pool=pool)
+            good = submit_suite(GPScheduler(machine), mini, pool=pool)
+            completed = list(as_completed_suites([dying, good]))
+            assert sorted(map(id, completed)) == sorted(map(id, [dying, good]))
+            with pytest.raises(LoopTaskError):
+                dying.result()

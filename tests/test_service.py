@@ -18,10 +18,13 @@ from repro.schedule.drivers import GPScheduler
 from repro.schedule.engine import EngineOptions
 from repro.service import (
     EvaluationRequest,
+    Fault,
+    FaultPlan,
     MachineRegistry,
     RegistryError,
     ReproService,
     RequestError,
+    RetryPolicy,
     ScheduleRequest,
     SchedulerRegistry,
 )
@@ -355,6 +358,104 @@ class TestStreaming:
             handle = service.submit(request)
             assert handle.done()
             assert handle.response().meta.cache_hit
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance through the session
+# ----------------------------------------------------------------------
+class TestSessionFaultTolerance:
+    def _crash_plan(self):
+        suite = mini_suite()
+        return FaultPlan(
+            faults=(
+                Fault(
+                    benchmark=suite[0].name,
+                    loop_name=suite[0].loops[0].name,
+                    kind="crash",
+                    attempt=0,
+                ),
+            )
+        )
+
+    def _raise_plan(self):
+        suite = mini_suite()
+        return FaultPlan(
+            faults=(
+                Fault(
+                    benchmark=suite[0].name,
+                    loop_name=suite[0].loops[0].name,
+                    kind="raise",
+                    attempt=None,
+                ),
+            )
+        )
+
+    def test_telemetry_rides_on_response_meta(self):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        clean = suite_result_to_json(
+            run_suite(list(mini_suite()), GPScheduler(two_cluster(32))),
+            timing=False,
+        )
+        with ReproService(
+            jobs=2,
+            policy=RetryPolicy(sleep=lambda _s: None),
+            faults=self._crash_plan(),
+        ) as service:
+            response = service.evaluate(request)
+            assert response.ok
+            assert suite_result_to_json(response.result, timing=False) == clean
+            assert response.meta.telemetry is not None
+            assert response.meta.telemetry.retries >= 1
+            assert not response.meta.telemetry.clean
+            assert service.telemetry.retries >= 1
+            replay = service.evaluate(request)
+            assert replay.meta.cache_hit
+            assert replay.meta.telemetry is None  # no work was dispatched
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_keep_going_reports_and_never_caches_partials(self, jobs):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        victim = mini_suite()[0].loops[0].name
+        with ReproService(
+            jobs=jobs,
+            policy=RetryPolicy(sleep=lambda _s: None),
+            faults=self._raise_plan(),
+            keep_going=True,
+        ) as service:
+            response = service.evaluate(request)
+            assert not response.ok
+            assert [f.loop_name for f in response.failures.failures] == [victim]
+            assert "FAILURES" in response.failures.render()
+            assert service.failure_report().loops() == [
+                (mini_suite()[0].name, victim)
+            ]
+            # A partial result must be recomputed, never replayed.
+            again = service.evaluate(request)
+            assert not again.meta.cache_hit
+
+    def test_streamed_submit_heals_transients_too(self):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        clean = suite_result_to_json(
+            run_suite(list(mini_suite()), GPScheduler(two_cluster(32))),
+            timing=False,
+        )
+        with ReproService(
+            jobs=2,
+            policy=RetryPolicy(sleep=lambda _s: None),
+            faults=self._crash_plan(),
+        ) as service:
+            handle = service.submit(request)
+            response = handle.response()
+            assert suite_result_to_json(response.result, timing=False) == clean
+            assert response.meta.telemetry is not None
+            assert response.meta.telemetry.retries >= 1
+            assert service.telemetry.retries >= 1
 
 
 # ----------------------------------------------------------------------

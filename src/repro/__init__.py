@@ -56,15 +56,19 @@ from .machine import (
 )
 from .partition import MultilevelPartitioner, Partition
 from .service import (
+    DiskStore,
     EvaluationRequest,
     EvaluationResponse,
     MachineRegistry,
+    MemoryStore,
     RegistryError,
     ReproService,
     RequestError,
+    ResultStore,
     ScheduleRequest,
     ScheduleResponse,
     SchedulerRegistry,
+    ServiceClient,
 )
 from .schedule import (
     FixedPartitionScheduler,
@@ -86,6 +90,7 @@ __all__ = [
     "DataDependenceGraph",
     "Dependence",
     "DepKind",
+    "DiskStore",
     "EvaluationRequest",
     "EvaluationResponse",
     "FixedPartitionScheduler",
@@ -96,6 +101,7 @@ __all__ = [
     "LoopBuilder",
     "MachineConfig",
     "MachineRegistry",
+    "MemoryStore",
     "ModuloSchedule",
     "MultilevelPartitioner",
     "OpClass",
@@ -107,11 +113,13 @@ __all__ = [
     "ReproError",
     "ReproService",
     "RequestError",
+    "ResultStore",
     "ScheduleOutcome",
     "ScheduleRequest",
     "ScheduleResponse",
     "SchedulerRegistry",
     "SchedulingError",
+    "ServiceClient",
     "UnifiedScheduler",
     "UracamScheduler",
     "ValidationError",

@@ -20,6 +20,22 @@ Commands:
   ``--json`` writes the timings to a file for CI artifacts.
 * ``workloads`` — describe the synthetic suite's loop shapes.
 * ``machines`` — list the built-in machine configurations.
+* ``serve`` — run the persistent scheduling daemon: one warm worker
+  pool answering serialized requests over a unix socket (JSON lines),
+  shutting itself down after an idle timeout; ``serve --stop`` stops a
+  running daemon.
+* ``cache`` — inspect a content-addressed result store
+  (``stats`` / ``verify`` / ``clear``).
+
+``evaluate`` and ``bench`` take ``--store SPEC`` to attach a persistent
+content-addressed result store (``memory``, ``disk``, ``disk:PATH`` or
+a bare path): identical requests across invocations are replayed from
+the store byte-identically instead of re-scheduled, and a cache
+counters line goes to stderr so pipelines can assert replay rates
+without disturbing stdout.  ``--daemon`` routes the run through the
+``repro serve`` daemon (auto-spawned on first use; ``--socket PATH``
+picks the endpoint), so repeated CLI invocations share one warm pool
+and one response cache.
 
 ``evaluate`` and ``bench`` take ``--suite paper|extended`` to pick the
 workload tier (the paper's 40 loops vs. the 220-loop production-scale
@@ -52,6 +68,10 @@ Examples::
     python -m repro bench --machine 4x64 --programs 3 --json bench.json
     python -m repro workloads --program swim
     python -m repro machines
+    python -m repro evaluate --store disk:~/.cache/repro/store
+    python -m repro evaluate --daemon
+    python -m repro serve --jobs 0 --store disk
+    python -m repro cache stats --store disk
 """
 
 from __future__ import annotations
@@ -172,6 +192,66 @@ def _fault_tolerance_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _service_for(args: argparse.Namespace):
+    """The session for one CLI run: local, or the daemon client.
+
+    ``--daemon`` swaps the in-process :class:`ReproService` for a
+    :class:`~repro.service.client.ServiceClient` — same surface, so the
+    figure/table code downstream does not care.  The execution knobs
+    (``--jobs``, ``--chunksize``, ``--mp-context``, ``--store``) then
+    configure the daemon *if this run spawns it*; an already-running
+    daemon keeps its own settings.
+    """
+    if getattr(args, "daemon", False):
+        from .errors import DaemonError
+        from .service import ServiceClient
+
+        if args.fault_plan:
+            raise DaemonError(
+                "--fault-plan injects faults into an in-process session; "
+                "drop --daemon to use it"
+            )
+        return ServiceClient(
+            endpoint=args.socket,
+            keep_going=getattr(args, "keep_going", False),
+            jobs=args.jobs,
+            chunksize=args.chunksize,
+            mp_context=args.mp_context,
+            store=args.store,
+        )
+    return ReproService(
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        mp_context=args.mp_context,
+        store=args.store,
+        **_fault_tolerance_kwargs(args),
+    )
+
+
+def _cache_stats_line(service) -> str:
+    """The stderr cache/store counters line (stdout stays byte-clean).
+
+    Session-level ``cache:`` counters first (a warm replay shows
+    ``misses=0``), then the store's own counters when one is attached —
+    locally from the store object, in daemon mode from the server's
+    ``stats`` op.
+    """
+    parts = [f"cache: hits={service.cache_hits} misses={service.cache_misses}"]
+    store = getattr(service, "store", None)
+    if store is not None:
+        stats = store.stats()
+    elif hasattr(service, "stats"):
+        stats = service.stats().get("store")
+    else:
+        stats = None
+    if stats:
+        parts.append(
+            "store: backend={backend} entries={entries} bytes={bytes} "
+            "hits={hits} misses={misses} evictions={evictions}".format(**stats)
+        )
+    return "  ".join(parts)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
@@ -184,12 +264,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # cross-checks inside the engine, plus a full_recheck validation
         # of every schedule before it is reported.
         options = EngineOptions(verify_pressure=True, validate_schedules=True)
-    with ReproService(
-        jobs=args.jobs,
-        chunksize=args.chunksize,
-        mp_context=args.mp_context,
-        **_fault_tolerance_kwargs(args),
-    ) as service:
+    with _service_for(args) as service:
         if args.bus_latency == 2:
             panel = figure3_panel(
                 args.registers, suite=suite, options=options,
@@ -200,6 +275,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 args.clusters, args.registers, suite=suite, options=options,
                 validate_each=args.validate_each, service=service,
             )
+        stats_line = (
+            _cache_stats_line(service) if (args.store or args.daemon) else None
+        )
     if args.format == "csv":
         print(figure_to_csv(panel), end="")
     elif args.format == "json":
@@ -211,6 +289,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"GP over URACAM: {panel.gain_percent('gp', 'uracam'):+.1f}%  "
             f"GP over Fixed: {panel.gain_percent('gp', 'fixed-partition'):+.1f}%"
         )
+    if stats_line:
+        print(stats_line, file=sys.stderr)
     if args.keep_going:
         # Stderr, so csv/json stdout (and the CI byte-diff) stay clean.
         report = service.failure_report()
@@ -239,12 +319,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .eval.figures import table2
 
     suite = _pick_suite(args)
-    with ReproService(
-        jobs=args.jobs,
-        chunksize=args.chunksize,
-        mp_context=args.mp_context,
-        **_fault_tolerance_kwargs(args),
-    ) as service:
+    with _service_for(args) as service:
         machine = service.resolve_machine(args.machine)
         jobs = service.jobs
         cpu_count = os.cpu_count() or 1
@@ -262,6 +337,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         started = _time.perf_counter()
         result = table2(suite, [machine], service=service)
         wall_seconds = _time.perf_counter() - started
+        stats_line = (
+            _cache_stats_line(service) if (args.store or args.daemon) else None
+        )
     print(result.render())
     config = result.configs[0]
     per = result.seconds[config]
@@ -293,7 +371,114 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if stats_line:
+        print(stats_line, file=sys.stderr)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .errors import DaemonError
+    from .service.daemon import DEFAULT_IDLE_TIMEOUT, ReproDaemon, parse_endpoint
+
+    if args.stop:
+        from .service.client import ServiceClient
+
+        client = ServiceClient(endpoint=args.socket, autospawn=False)
+        try:
+            client.connect()
+        except DaemonError:
+            print("no daemon running", file=sys.stderr)
+            return 0
+        pid = client.server.get("pid")
+        client.shutdown_server()
+        print(f"daemon stopped (pid {pid})", file=sys.stderr)
+        return 0
+    idle_timeout = args.idle_timeout
+    if idle_timeout is None:
+        idle_timeout = DEFAULT_IDLE_TIMEOUT
+    elif idle_timeout <= 0:
+        idle_timeout = None  # 0 = serve until stopped
+    daemon = ReproDaemon(
+        endpoint=args.socket,
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        mp_context=args.mp_context,
+        store=args.store,
+        idle_timeout=idle_timeout,
+        policy=RetryPolicy(
+            max_attempts=args.max_attempts, deadline=args.deadline
+        ),
+    )
+    family, address = parse_endpoint(args.socket)
+    endpoint = address if family == "unix" else f"tcp:{address[0]}:{address[1]}"
+    timeout_note = "none" if idle_timeout is None else f"{idle_timeout:g}s"
+    print(
+        f"repro daemon serving on {endpoint} "
+        f"(pid {os.getpid()}, idle timeout {timeout_note})",
+        file=sys.stderr,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .errors import CodecError
+    from .service.codec import loads_response
+    from .service.store import open_store
+
+    store = open_store(args.store)
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            print(f"backend:   {stats['backend']}")
+            if hasattr(store, "root"):
+                print(f"root:      {store.root}")
+            print(f"entries:   {stats['entries']}")
+            print(f"bytes:     {stats['bytes']}")
+            budget = stats["max_bytes"]
+            print(f"max_bytes: {'unlimited' if budget is None else budget}")
+            return 0
+        if args.action == "clear":
+            removed = store.clear()
+            print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+            return 0
+        # verify: decode every entry and cross-check its content address.
+        ok = 0
+        corrupt = []
+        for fingerprint in store.keys():
+            text = store.get(fingerprint)
+            if text is None:
+                continue
+            try:
+                response = loads_response(text)
+                if response.meta.fingerprint != fingerprint:
+                    raise CodecError(
+                        f"entry {fingerprint[:12]} holds a response "
+                        f"fingerprinted {response.meta.fingerprint[:12]}"
+                    )
+            except CodecError as error:
+                corrupt.append((fingerprint, str(error)))
+                if args.purge:
+                    store.delete(fingerprint)
+                continue
+            ok += 1
+        print(f"verified {ok} entr{'y' if ok == 1 else 'ies'}")
+        for fingerprint, reason in corrupt:
+            action = "purged" if args.purge else "corrupt"
+            print(f"{action}: {fingerprint} ({reason})", file=sys.stderr)
+        if corrupt:
+            print(
+                f"{len(corrupt)} corrupt entr"
+                f"{'y' if len(corrupt) == 1 else 'ies'}"
+                + ("" if args.purge else " (re-run with --purge to drop them)"),
+                file=sys.stderr,
+            )
+            return 0 if args.purge else 1
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_machines(args: argparse.Namespace) -> int:
@@ -356,6 +541,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON fault-injection plan (testing/CI "
                        "only): injects worker crashes/hangs/raises at "
                        "planned loops to exercise the retry layer")
+        p.add_argument("--store", default=None, metavar="SPEC",
+                       help="content-addressed result store: 'memory', "
+                       "'disk' (the default cache root), 'disk:PATH' or "
+                       "a bare path; identical requests replay from the "
+                       "store byte-identically across invocations")
+        p.add_argument("--daemon", action="store_true",
+                       help="run through the persistent 'repro serve' "
+                       "daemon (auto-spawned on first use), sharing one "
+                       "warm worker pool and response cache across "
+                       "invocations")
+        p.add_argument("--socket", default=None, metavar="ENDPOINT",
+                       help="daemon endpoint: a unix socket path or "
+                       "tcp:PORT (default: the per-user socket, "
+                       "$REPRO_DAEMON_SOCKET)")
 
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
@@ -389,6 +588,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the timings as JSON (CI artifact)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent scheduling daemon (one warm pool, "
+        "JSON-lines over a unix socket)",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="ENDPOINT",
+                         help="endpoint to serve on: a unix socket path "
+                         "or tcp:PORT (default: the per-user socket)")
+    p_serve.add_argument("--jobs", type=int, default=0,
+                         help="worker processes (default 0 = one per "
+                         "CPU; the daemon exists to keep a pool warm)")
+    p_serve.add_argument("--chunksize", type=int, default=None,
+                         help="loops batched per worker task")
+    p_serve.add_argument("--mp-context", default=None,
+                         choices=("spawn", "forkserver"),
+                         help="worker start method")
+    p_serve.add_argument("--store", default=None, metavar="SPEC",
+                         help="attach a persistent result store "
+                         "('memory', 'disk', 'disk:PATH' or a path)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="exit after this long without a "
+                         "connection (default 300; 0 = serve forever)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="executions allowed per work chunk before "
+                         "a transient fault gives up")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-chunk wall-clock deadline")
+    p_serve.add_argument("--stop", action="store_true",
+                         help="ask the running daemon to shut down "
+                         "instead of serving")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect a content-addressed result store",
+    )
+    p_cache.add_argument("action", choices=("stats", "verify", "clear"),
+                         help="stats: counters and size; verify: decode "
+                         "every entry and cross-check its content "
+                         "address; clear: delete every entry")
+    p_cache.add_argument("--store", default="disk", metavar="SPEC",
+                         help="store spec: 'memory', 'disk' (default), "
+                         "'disk:PATH' or a bare path")
+    p_cache.add_argument("--purge", action="store_true",
+                         help="with verify: delete the corrupt entries "
+                         "found instead of just reporting them")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_work = sub.add_parser("workloads", help="describe the synthetic suite")
     p_work.add_argument("--program", default=None, choices=PROGRAM_NAMES)

@@ -32,6 +32,30 @@ class ValidationError(ReproError):
     """An allegedly complete schedule violates a dependence or resource bound."""
 
 
+class CodecError(ReproError):
+    """An encoded request/response payload could not be decoded.
+
+    Raised by :mod:`repro.service.codec` on malformed, truncated or
+    wrong-schema payloads.  The result store deliberately converts this
+    into a cache *miss* (and drops the entry) rather than letting it
+    propagate — a corrupted store must never break a computation it was
+    only meant to accelerate.
+    """
+
+
+class StoreError(ReproError):
+    """A result store was misconfigured (bad path, non-positive budget)."""
+
+
+class DaemonError(ReproError):
+    """The scheduling daemon could not be reached, spawned, or spoken to.
+
+    Covers connection failures after auto-spawn retries, protocol
+    violations, and errors the daemon reported for an operation (the
+    original error type name is preserved in the message).
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A dispatched work chunk missed its per-chunk deadline.
 

@@ -203,6 +203,13 @@ def resolve_chunksize(
     return chunksize
 
 
+def _warm_probe() -> int:
+    """Worker-side warm-up task: hold the worker just long enough that
+    concurrent probes cannot all be served by one eager process."""
+    time.sleep(0.02)
+    return os.getpid()
+
+
 class EvaluationPool:
     """A lazily spawned, reusable, **rebuildable** worker pool.
 
@@ -240,6 +247,19 @@ class EvaluationPool:
                 max_workers=self.jobs, mp_context=context
             )
         return self._executor
+
+    def warm(self) -> int:
+        """Pre-spawn the worker processes; returns the live worker count.
+
+        Normally workers spawn lazily on first submit, which puts the
+        interpreter/import cost inside the first request's latency.  The
+        daemon calls this at startup (and after a rebuild) so the first
+        client request lands on an already-warm pool.  Each probe task
+        sleeps briefly so concurrent probes force distinct workers up.
+        """
+        executor = self.executor()
+        probes = [executor.submit(_warm_probe) for _ in range(self.jobs)]
+        return len({probe.result() for probe in probes})
 
     def shutdown(self) -> None:
         executor, self._executor = self._executor, None

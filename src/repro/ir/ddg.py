@@ -156,6 +156,43 @@ class DataDependenceGraph:
         for uid in sorted(self._succ):
             yield from self._succ[uid]
 
+    def edges_replayable(self) -> List[Dependence]:
+        """Every edge once, in an order whose replay rebuilds this graph
+        *exactly* — same ``out_edges`` and same ``in_edges`` orders.
+
+        :meth:`edges` groups by producer and therefore loses the
+        interleaving of each consumer's in-edge list; schedulers break
+        ties by adjacency-list order, so a graph rebuilt from it can
+        schedule differently despite being structurally equal.  This
+        order is a deterministic merge of both projections: an edge is
+        emitted only when it is next in *both* its producer's out-list
+        and its consumer's in-list.  Such a merge always completes,
+        because the original insertion order satisfies both projections.
+        """
+        succ_pos = {uid: 0 for uid in self._succ}
+        pred_pos = {uid: 0 for uid in self._pred}
+        ordered: List[Dependence] = []
+        total = self.num_edges
+        uids = sorted(self._succ)
+        while len(ordered) < total:
+            emitted = False
+            for uid in uids:
+                out = self._succ[uid]
+                while succ_pos[uid] < len(out):
+                    dep = out[succ_pos[uid]]
+                    incoming = self._pred[dep.dst]
+                    if incoming[pred_pos[dep.dst]] is not dep:
+                        break
+                    ordered.append(dep)
+                    succ_pos[uid] += 1
+                    pred_pos[dep.dst] += 1
+                    emitted = True
+            if not emitted:  # pragma: no cover - defensive
+                raise GraphError(
+                    f"graph {self.name!r} has inconsistent adjacency orders"
+                )
+        return ordered
+
     def out_edges(self, uid: int) -> List[Dependence]:
         """Dependences whose producer is ``uid``."""
         return list(self._succ[uid])

@@ -45,6 +45,10 @@ def loop_to_dict(loop: Loop) -> Dict[str, Any]:
             entry["latency"] = op.opcode.latency
             entry["is_store"] = op.opcode.is_store
         operations.append(entry)
+    # Replayable order, not edges(): re-adding these dependences one by
+    # one reproduces the graph's adjacency-list orders exactly, so a
+    # deserialized loop schedules bit-identically to the original (the
+    # schedulers' tie-breaks follow adjacency order).
     dependences = [
         {
             "src": dep.src,
@@ -53,7 +57,7 @@ def loop_to_dict(loop: Loop) -> Dict[str, Any]:
             "distance": dep.distance,
             "kind": dep.kind.value,
         }
-        for dep in ddg.edges()
+        for dep in ddg.edges_replayable()
     ]
     return {
         "name": loop.name,

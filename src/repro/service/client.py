@@ -1,0 +1,318 @@
+"""The daemon client: a :class:`ReproService`-shaped remote session.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.daemon` but presents the *local* service surface —
+``schedule`` / ``evaluate`` / ``evaluate_many`` / ``submit`` /
+``as_completed`` / ``resolve_machine`` / ``failure_report`` /
+``telemetry`` / ``cache_hits`` — so the CLI, the figure harness, Table 2
+and the benchmarks run against either transport unchanged::
+
+    from repro.service import EvaluationRequest, ServiceClient
+
+    with ServiceClient() as service:           # spawns a daemon if needed
+        tier = service.evaluate(
+            EvaluationRequest(scheduler="gp", machine="2x32", suite="paper")
+        )
+
+Connection policy: connect to the rendezvous socket; on failure (no
+daemon, stale socket) **auto-spawn** ``repro serve`` detached and wait
+for it — unless ``autospawn=False``, in which case the failure surfaces
+as :class:`~repro.errors.DaemonError`.  A connection dropped *between*
+calls (the daemon idled out) is re-established transparently, including
+a respawn; a connection dropped *mid-call* is an error (the work's
+completion state is unknown and requests are not assumed idempotent
+against a half-dead server).
+
+Responses cross the wire through :mod:`repro.service.codec`, so result
+payloads client-side are the decoded metric surface (``Stored*``
+stand-ins) — numerically bit-identical to local execution, but without
+live schedule objects; use a local :class:`ReproService` when you need
+``render_kernel`` or schedule introspection beyond the stats counters.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..errors import DaemonError
+from ..eval.retry import FailureReport, RunTelemetry
+from ..machine.config import MachineConfig
+from .codec import decode_response, encode_request
+from .daemon import (
+    DEFAULT_SPAWN_TIMEOUT,
+    WIRE_SCHEMA,
+    connect_endpoint,
+    spawn_daemon,
+    wait_for_daemon,
+)
+from .registry import MACHINES, MachineRegistry
+from .requests import EvaluationRequest, MachineLike, ScheduleRequest
+from .responses import EvaluationResponse, ScheduleResponse
+
+
+class ClientHandle:
+    """A completed :meth:`ServiceClient.submit` result.
+
+    The daemon transport is synchronous per call, so handles are always
+    already redeemed; they exist to keep ``submit``/``as_completed``
+    call sites transport-agnostic.
+    """
+
+    def __init__(self, response: EvaluationResponse) -> None:
+        self.request = response.request
+        self.fingerprint = response.meta.fingerprint
+        self._response = response
+
+    def done(self) -> bool:
+        return True
+
+    def response(self) -> EvaluationResponse:
+        return self._response
+
+
+class ServiceClient:
+    """A remote :class:`~repro.service.session.ReproService`.
+
+    ``endpoint`` is a unix socket path or ``tcp:PORT`` (``None`` = the
+    per-user default socket).  The spawn knobs (``jobs``, ``chunksize``,
+    ``mp_context``, ``store``, ``idle_timeout``) configure the daemon
+    *this client spawns* when none is running; an already-running daemon
+    keeps its own configuration.  ``keep_going`` travels per call on the
+    wire.  ``machines`` only affects local :meth:`resolve_machine`
+    lookups (requests carry their machine by value or preset name).
+    """
+
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        autospawn: bool = True,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+        keep_going: bool = False,
+        jobs: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        store: Optional[str] = None,
+        idle_timeout: Optional[float] = None,
+        machines: Optional[MachineRegistry] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.autospawn = autospawn
+        self.spawn_timeout = spawn_timeout
+        self.keep_going = keep_going
+        self.machines = machines if machines is not None else MACHINES
+        self._spawn_options = {
+            "jobs": jobs,
+            "chunksize": chunksize,
+            "mp_context": mp_context,
+            "store": store,
+            "idle_timeout": idle_timeout,
+        }
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+        #: The daemon's ``ping`` self-description (pid, jobs, version).
+        self.server: Dict[str, Any] = {}
+        #: Remote worker count (mirrors ``ReproService.jobs``).
+        self.jobs: Optional[int] = None
+        #: Whether this client spawned the daemon it is talking to.
+        self.spawned = False
+        # Client-side counters mirroring the local session surface;
+        # accumulated from response metas (each client tracks its own
+        # view — the daemon's totals are ``stats()``).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.telemetry = RunTelemetry()
+        self.failures: List = []
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Ensure a live connection (spawning the daemon if allowed)."""
+        if self._sock is not None:
+            return
+        try:
+            sock = connect_endpoint(self.endpoint)
+        except OSError as error:
+            if not self.autospawn:
+                raise DaemonError(
+                    f"cannot reach repro daemon: {error} "
+                    "(run 'repro serve' or enable autospawn)"
+                ) from error
+            process = spawn_daemon(self.endpoint, **self._spawn_options)
+            wait_for_daemon(
+                self.endpoint, timeout=self.spawn_timeout, process=process
+            )
+            self.spawned = True
+            sock = connect_endpoint(self.endpoint)
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = sock.makefile("w", encoding="utf-8", newline="\n")
+        self.server = self._call("ping")["server"]
+        self.jobs = self.server.get("jobs")
+
+    def close(self) -> None:
+        """Drop the connection (the daemon keeps running for the next
+        client; use :meth:`shutdown_server` to stop it)."""
+        for stream in (self._reader, self._writer):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._reader = None
+        self._writer = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _call(self, op: str, _retry: bool = True, **payload: Any) -> Dict[str, Any]:
+        was_connected = self._sock is not None
+        self.connect()
+        message = {"schema": WIRE_SCHEMA, "op": op}
+        message.update(payload)
+        line = json.dumps(message, sort_keys=True)
+        try:
+            self._writer.write(line + "\n")
+            self._writer.flush()
+            reply_line = self._reader.readline()
+        except OSError as error:
+            # Dropped on a connection we had been holding open (the
+            # daemon idled out between calls): reconnect once and retry —
+            # nothing of ours was in flight, so the retry is safe.  A
+            # failure on a *fresh* connection is a real daemon error.
+            self.close()
+            if _retry and was_connected:
+                return self._call(op, _retry=False, **payload)
+            raise DaemonError(f"daemon connection lost: {error}") from error
+        if not reply_line:
+            # EOF before any reply: same split — an old connection may
+            # have been idle-closed before our line was read (retry on a
+            # fresh one); a fresh connection EOF means the daemon died.
+            self.close()
+            if _retry and was_connected:
+                return self._call(op, _retry=False, **payload)
+            raise DaemonError("daemon closed the connection without replying")
+        try:
+            reply = json.loads(reply_line)
+        except ValueError as error:
+            raise DaemonError(f"malformed daemon reply: {error}") from error
+        if not reply.get("ok"):
+            detail = reply.get("error") or {}
+            raise DaemonError(
+                f"daemon error [{detail.get('type', 'unknown')}]: "
+                f"{detail.get('message', 'no detail')}"
+            )
+        return reply
+
+    def _absorb_meta(self, response) -> None:
+        meta = response.meta
+        if meta.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if meta.telemetry is not None and not meta.cache_hit:
+            batch = RunTelemetry(
+                chunks=meta.telemetry.chunks,
+                attempts=meta.telemetry.attempts,
+                retries=meta.telemetry.retries,
+                rebuilds=meta.telemetry.rebuilds,
+                deadline_hits=meta.telemetry.deadline_hits,
+                degraded_chunks=meta.telemetry.degraded_chunks,
+                failed_loops=meta.telemetry.failed_loops,
+                chunk_attempts=list(meta.telemetry.chunk_attempts),
+            )
+            self.telemetry.merge(batch)
+
+    # ------------------------------------------------------------------
+    # The service surface
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """The daemon's self-description (pid, jobs, uptime, version)."""
+        return self._call("ping")["server"]
+
+    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        reply = self._call("schedule", request=encode_request(request))
+        response = decode_response(reply["response"])
+        if not isinstance(response, ScheduleResponse):
+            raise DaemonError("daemon returned a non-schedule response")
+        self._absorb_meta(response)
+        return response
+
+    def evaluate(self, request: EvaluationRequest) -> EvaluationResponse:
+        return self.evaluate_many([request])[0]
+
+    def evaluate_many(
+        self, requests: Sequence[EvaluationRequest]
+    ) -> List[EvaluationResponse]:
+        reply = self._call(
+            "evaluate",
+            requests=[encode_request(request) for request in requests],
+            keep_going=self.keep_going,
+        )
+        responses: List[EvaluationResponse] = []
+        for payload in reply["responses"]:
+            response = decode_response(payload)
+            if not isinstance(response, EvaluationResponse):
+                raise DaemonError("daemon returned a non-evaluation response")
+            self._absorb_meta(response)
+            self.failures.extend(response.result.failures)
+            responses.append(response)
+        if len(responses) != len(requests):
+            raise DaemonError(
+                f"daemon returned {len(responses)} responses "
+                f"for {len(requests)} requests"
+            )
+        return responses
+
+    def submit(self, request: EvaluationRequest) -> ClientHandle:
+        """Transport-compatible ``submit``: the daemon call is
+        synchronous, so the handle is already complete."""
+        return ClientHandle(self.evaluate(request))
+
+    def as_completed(
+        self, handles: Sequence[ClientHandle]
+    ) -> Iterator[EvaluationResponse]:
+        for handle in handles:
+            yield handle.response()
+
+    def resolve_machine(self, machine: MachineLike) -> MachineConfig:
+        if isinstance(machine, MachineConfig):
+            return machine
+        return self.machines.resolve(machine)
+
+    def failure_report(self) -> FailureReport:
+        """Every loop lost through *this client* (keep-going mode)."""
+        return FailureReport(failures=tuple(self.failures))
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's own totals: cache, store and telemetry counters."""
+        reply = self._call("stats")
+        return {
+            "server": reply["server"],
+            "cache": reply["cache"],
+            "store": reply["store"],
+            "telemetry": reply["telemetry"],
+        }
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to exit (it finishes this reply, then stops)."""
+        try:
+            self._call("shutdown")
+        finally:
+            self.close()

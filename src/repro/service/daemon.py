@@ -1,0 +1,465 @@
+"""The persistent scheduling daemon: ``repro serve``.
+
+A long-running process that owns one warm
+:class:`~repro.service.session.ReproService` — worker pool pre-spawned
+(forkserver where available), response memo and optional
+content-addressed result store — and answers serialized
+:class:`~repro.service.requests.ScheduleRequest` /
+:class:`~repro.service.requests.EvaluationRequest` objects over a
+**JSON-lines** protocol on a unix socket (default) or localhost TCP.
+Identical requests across CLI invocations, CI re-runs and interactive
+sweeps then cost one socket round-trip instead of a cold pool spawn —
+and with a disk store attached, one O(1) content-hash lookup fleet-wide.
+
+Wire protocol (one JSON object per line, both directions)::
+
+    -> {"schema": "repro-wire/1", "op": "ping"}
+    <- {"ok": true, "server": {"pid": ..., "jobs": ..., ...}}
+    -> {"schema": "repro-wire/1", "op": "evaluate",
+        "requests": [<codec-encoded request>, ...], "keep_going": false}
+    <- {"ok": true, "responses": [<codec-encoded response>, ...]}
+    -> {"schema": "repro-wire/1", "op": "schedule", "request": {...}}
+    <- {"ok": true, "response": {...}}
+    -> {"schema": "repro-wire/1", "op": "stats"}
+    <- {"ok": true, "cache": {...}, "store": {...}|null, "telemetry": {...}}
+    -> {"schema": "repro-wire/1", "op": "shutdown"}
+    <- {"ok": true, "stopping": true}
+
+Failures are ``{"ok": false, "error": {"type": ..., "message": ...}}``;
+responses are the existing envelopes (including ``FailureReport`` s on
+partial keep-going results) through :mod:`repro.service.codec`.
+
+Lifecycle: the daemon is **auto-spawned** by the CLI's ``--daemon`` flag
+(:func:`spawn_daemon` + :func:`wait_for_daemon`), shuts itself down
+after :data:`DEFAULT_IDLE_TIMEOUT` seconds without a connection, and
+recovers stale socket files left by a crashed predecessor (bind fails →
+probe connect → refused → unlink and rebind).  ``repro serve --stop``
+asks a running daemon to exit.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import DaemonError, ReproError
+from .codec import decode_request, encode_response
+from .requests import EvaluationRequest, ScheduleRequest
+from .session import ReproService
+
+#: Wire protocol schema tag (bump on incompatible protocol changes).
+WIRE_SCHEMA = "repro-wire/1"
+
+#: Seconds without a client connection before the daemon exits.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: How long an auto-spawning client waits for the daemon socket.
+DEFAULT_SPAWN_TIMEOUT = 30.0
+
+
+def default_socket_path() -> str:
+    """The per-user rendezvous socket: ``$REPRO_DAEMON_SOCKET`` or
+    ``<tmpdir>/repro-<uid>/daemon.sock`` (kept short — unix socket paths
+    are limited to ~100 bytes)."""
+    env = os.environ.get("REPRO_DAEMON_SOCKET")
+    if env:
+        return env
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-{uid}", "daemon.sock")
+
+
+def parse_endpoint(endpoint: Optional[str]) -> Tuple[str, Any]:
+    """An endpoint spec as ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    ``None`` means the default unix socket; ``tcp:PORT`` binds localhost
+    only (the daemon performs no authentication — never expose it beyond
+    the loopback interface).
+    """
+    if endpoint is None:
+        return ("unix", default_socket_path())
+    if endpoint.startswith("tcp:"):
+        rest = endpoint[len("tcp:"):]
+        host, _, port = rest.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            return ("tcp", (host, int(port)))
+        except ValueError as error:
+            raise DaemonError(f"malformed tcp endpoint {endpoint!r}") from error
+    return ("unix", endpoint)
+
+
+def connect_endpoint(endpoint: Optional[str], timeout: float = 5.0) -> socket.socket:
+    """A connected client socket, or the OSError the connect raised."""
+    family, address = parse_endpoint(endpoint)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(address)
+    except OSError:
+        sock.close()
+        raise
+    sock.settimeout(None)
+    return sock
+
+
+class ReproDaemon:
+    """One serving process: a warm session behind a JSON-lines socket.
+
+    ``jobs`` defaults to one worker per CPU (the daemon exists to keep a
+    full pool warm); ``store`` takes the same specs as
+    :class:`~repro.service.session.ReproService`.  ``idle_timeout``
+    seconds without a connection shut the daemon down (``None`` = run
+    until ``shutdown``/SIGTERM).  Connections are handled one at a time:
+    the pool already parallelizes the work itself, and single-threaded
+    dispatch keeps the memo/store free of locking.
+    """
+
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        jobs: Optional[int] = 0,
+        chunksize: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        store: Optional[object] = None,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        policy=None,
+    ) -> None:
+        self.family, self.address = parse_endpoint(endpoint)
+        self.jobs = jobs
+        self.chunksize = chunksize
+        self.mp_context = mp_context
+        self.store_spec = store
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise DaemonError(
+                f"idle_timeout must be positive seconds, got {idle_timeout}"
+            )
+        self.idle_timeout = idle_timeout
+        self.policy = policy
+        self.service: Optional[ReproService] = None
+        self._listener: Optional[socket.socket] = None
+        self._stopping = False
+        self._started = time.monotonic()
+        #: Requests answered over the daemon's lifetime (telemetry).
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Socket setup and stale-socket recovery
+    # ------------------------------------------------------------------
+    def _bind(self) -> socket.socket:
+        if self.family == "unix":
+            path = self.address
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, mode=0o700, exist_ok=True)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(path)
+            except OSError as error:
+                if error.errno != errno.EADDRINUSE:
+                    listener.close()
+                    raise DaemonError(
+                        f"cannot bind daemon socket {path}: {error}"
+                    ) from error
+                # A socket file exists.  Probe it: a live daemon answers
+                # the connect; a stale file (crashed predecessor) refuses
+                # and is safe to remove and rebind.
+                try:
+                    probe = connect_endpoint(path, timeout=1.0)
+                except OSError:
+                    os.unlink(path)
+                    listener.bind(path)
+                else:
+                    probe.close()
+                    listener.close()
+                    raise DaemonError(
+                        f"a daemon is already serving on {path}"
+                    )
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind(self.address)
+            except OSError as error:
+                listener.close()
+                raise DaemonError(
+                    f"cannot bind daemon endpoint {self.address}: {error}"
+                ) from error
+        listener.listen(8)
+        return listener
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Bind, warm the pool, and answer connections until idle/stopped."""
+        self.service = ReproService(
+            jobs=self.jobs,
+            chunksize=self.chunksize,
+            mp_context=self.mp_context,
+            store=self.store_spec,
+            policy=self.policy,
+        )
+        self._listener = self._bind()
+        try:
+            # Warm the forkserver pool now, so the first request is not
+            # the one paying the worker spawn.
+            self.service.warm()
+            last_activity = time.monotonic()
+            while not self._stopping:
+                if self.idle_timeout is not None:
+                    remaining = self.idle_timeout - (
+                        time.monotonic() - last_activity
+                    )
+                    if remaining <= 0:
+                        break
+                    self._listener.settimeout(min(remaining, 1.0))
+                else:
+                    self._listener.settimeout(1.0)
+                try:
+                    connection, _peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                try:
+                    self._serve_connection(connection)
+                finally:
+                    connection.close()
+                last_activity = time.monotonic()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+            if self.family == "unix":
+                try:
+                    os.unlink(self.address)
+                except OSError:
+                    pass
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        connection.settimeout(None)
+        reader = connection.makefile("r", encoding="utf-8", newline="\n")
+        writer = connection.makefile("w", encoding="utf-8", newline="\n")
+        try:
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                reply = self._dispatch_line(line)
+                writer.write(json.dumps(reply, sort_keys=True) + "\n")
+                writer.flush()
+                if self._stopping:
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply; nothing to salvage
+        finally:
+            try:
+                reader.close()
+                writer.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_line(self, line: str) -> Dict[str, Any]:
+        try:
+            message = json.loads(line)
+        except ValueError as error:
+            return _error_reply(DaemonError(f"malformed request line: {error}"))
+        if not isinstance(message, dict):
+            return _error_reply(DaemonError("request must be a JSON object"))
+        if message.get("schema") != WIRE_SCHEMA:
+            return _error_reply(
+                DaemonError(
+                    f"unsupported wire schema {message.get('schema')!r}; "
+                    f"this daemon speaks {WIRE_SCHEMA}"
+                )
+            )
+        try:
+            reply = self._dispatch(message)
+        except ReproError as error:
+            return _error_reply(error)
+        except Exception as error:  # never let one request kill the daemon
+            return _error_reply(error)
+        reply["ok"] = True
+        if "id" in message:
+            reply["id"] = message["id"]
+        return reply
+
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        self.requests_served += 1
+        if op == "ping":
+            return {"server": self.describe()}
+        if op == "schedule":
+            request = decode_request(message["request"])
+            if not isinstance(request, ScheduleRequest):
+                raise DaemonError("'schedule' op needs a schedule request")
+            response = self.service.schedule(request)
+            return {"response": encode_response(response)}
+        if op == "evaluate":
+            requests: List[EvaluationRequest] = []
+            for payload in message.get("requests", ()):
+                request = decode_request(payload)
+                if not isinstance(request, EvaluationRequest):
+                    raise DaemonError(
+                        "'evaluate' op needs evaluation requests"
+                    )
+                requests.append(request)
+            # keep_going is session state on ReproService; the wire carries
+            # it per call, so set it for the duration of this batch.
+            keep_going = bool(message.get("keep_going", False))
+            previous, self.service.keep_going = self.service.keep_going, keep_going
+            try:
+                responses = self.service.evaluate_many(requests)
+            finally:
+                self.service.keep_going = previous
+            return {
+                "responses": [encode_response(r) for r in responses]
+            }
+        if op == "stats":
+            service = self.service
+            return {
+                "server": self.describe(),
+                "cache": {
+                    "hits": service.cache_hits,
+                    "misses": service.cache_misses,
+                },
+                "store": (
+                    None if service.store is None else service.store.stats()
+                ),
+                "telemetry": service.telemetry.to_dict(),
+            }
+        if op == "shutdown":
+            self._stopping = True
+            return {"stopping": True}
+        raise DaemonError(f"unknown daemon op {op!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        from .. import __version__
+
+        return {
+            "pid": os.getpid(),
+            "jobs": self.service.jobs if self.service else None,
+            "schema": WIRE_SCHEMA,
+            "version": __version__,
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests_served": self.requests_served,
+            "endpoint": (
+                self.address
+                if self.family == "unix"
+                else f"tcp:{self.address[0]}:{self.address[1]}"
+            ),
+            "store": (
+                None
+                if not (self.service and self.service.store)
+                else self.service.store.name
+            ),
+        }
+
+
+def _error_reply(error: BaseException) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+# ----------------------------------------------------------------------
+# Spawning
+# ----------------------------------------------------------------------
+def spawn_daemon(
+    endpoint: Optional[str] = None,
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    store: Optional[str] = None,
+    idle_timeout: Optional[float] = None,
+) -> subprocess.Popen:
+    """Start ``repro serve`` detached in the background.
+
+    The child is its own session leader (it must outlive this process)
+    and logs next to a unix socket (``daemon.log``) for post-mortems.
+    Returns the ``Popen`` handle; callers should
+    :func:`wait_for_daemon` before speaking to it.
+    """
+    family, address = parse_endpoint(endpoint)
+    argv = [sys.executable, "-m", "repro", "serve"]
+    if endpoint is not None:
+        argv += ["--socket", endpoint]
+    if jobs is not None:
+        argv += ["--jobs", str(jobs)]
+    if chunksize is not None:
+        argv += ["--chunksize", str(chunksize)]
+    if mp_context is not None:
+        argv += ["--mp-context", mp_context]
+    if store is not None:
+        argv += ["--store", str(store)]
+    if idle_timeout is not None:
+        argv += ["--idle-timeout", str(idle_timeout)]
+    if family == "unix":
+        directory = os.path.dirname(address)
+        if directory:
+            os.makedirs(directory, mode=0o700, exist_ok=True)
+        log = open(os.path.join(directory or ".", "daemon.log"), "ab")
+    else:
+        log = open(os.devnull, "wb")
+    try:
+        return subprocess.Popen(
+            argv,
+            stdin=subprocess.DEVNULL,
+            stdout=log,
+            stderr=log,
+            start_new_session=True,
+            close_fds=True,
+        )
+    finally:
+        log.close()
+
+
+def wait_for_daemon(
+    endpoint: Optional[str] = None,
+    timeout: float = DEFAULT_SPAWN_TIMEOUT,
+    process: Optional[subprocess.Popen] = None,
+) -> None:
+    """Block until the daemon accepts connections (or raise DaemonError).
+
+    If ``process`` is given and exits before the socket comes up, fail
+    immediately with its exit code instead of burning the whole timeout.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.02
+    while True:
+        try:
+            connect_endpoint(endpoint, timeout=1.0).close()
+            return
+        except OSError as error:
+            if process is not None and process.poll() is not None:
+                raise DaemonError(
+                    f"daemon exited with code {process.returncode} before "
+                    f"accepting connections (see daemon.log next to the socket)"
+                )
+            if time.monotonic() >= deadline:
+                raise DaemonError(
+                    f"daemon did not accept connections within {timeout:g}s: "
+                    f"{error}"
+                ) from error
+            time.sleep(delay)
+            delay = min(delay * 1.5, 0.25)

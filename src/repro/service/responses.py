@@ -24,6 +24,7 @@ from ..eval.retry import ExecutionTelemetry, FailureReport
 from ..eval.runner import SuiteResult
 from ..schedule.drivers import ScheduleOutcome
 from .requests import EvaluationRequest, ScheduleRequest
+from .store import StoreTelemetry
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,11 @@ class ResponseMeta:
     #: not go through the batch dispatcher; ``telemetry.clean`` is True
     #: when no fault-tolerance machinery had to engage.
     telemetry: Optional[ExecutionTelemetry] = None
+    #: Content-addressed store counters at response time (``None`` when
+    #: the session has no store attached).  ``store.hit`` says whether
+    #: *this* response was served from the persistent store — distinct
+    #: from :attr:`cache_hit`, which also covers the in-process memo.
+    store: Optional[StoreTelemetry] = None
 
 
 @dataclass(frozen=True)

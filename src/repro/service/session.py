@@ -55,6 +55,7 @@ from ..schedule.drivers import BaseScheduler, ScheduleOutcome
 from .registry import MACHINES, SCHEDULERS, MachineRegistry, SchedulerRegistry
 from .requests import EvaluationRequest, MachineLike, ScheduleRequest
 from .responses import EvaluationResponse, ResponseMeta, ScheduleResponse
+from .store import ResultStore, open_store
 
 #: Anything the service can run: a single-loop or a suite request.
 AnyRequest = Union[ScheduleRequest, EvaluationRequest]
@@ -129,6 +130,7 @@ class ReproService:
         policy: Optional[RetryPolicy] = None,
         keep_going: bool = False,
         faults: Optional[FaultPlan] = None,
+        store: Optional[object] = None,
     ) -> None:
         self.schedulers = schedulers if schedulers is not None else SCHEDULERS
         self.machines = machines if machines is not None else MACHINES
@@ -142,6 +144,13 @@ class ReproService:
         self.keep_going = keep_going
         #: Deterministic fault-injection plan (test/CI only).
         self.faults = faults
+        #: Content-addressed persistent store (``None`` = memo cache only).
+        #: Accepts a :class:`~repro.service.store.ResultStore` instance or
+        #: a spec string (``"memory"``, ``"disk"``, ``"disk:PATH"``, a
+        #: path); composes *under* the in-process memo: memo hit → store
+        #: hit → compute, and complete fresh responses are written back.
+        self._owns_store = not isinstance(store, ResultStore)
+        self.store: Optional[ResultStore] = open_store(store)
         #: Session-lifetime fault-tolerance counters; each response also
         #: carries its own batch's frozen snapshot on ``meta.telemetry``.
         self.telemetry = RunTelemetry()
@@ -173,7 +182,16 @@ class ReproService:
         """Shut down the owned pool (adopted pools are left running)."""
         if self._owns_pool and self._pool is not None:
             self._pool.shutdown()
+        if self._owns_store and self.store is not None:
+            self.store.close()
         self._cache.clear()
+
+    def warm(self) -> int:
+        """Pre-spawn the session's worker processes (the daemon's warm
+        start); returns how many workers are live (0 at ``jobs=1``)."""
+        if self._pool is None:
+            return 0
+        return self._pool.warm()
 
     def failure_report(self) -> FailureReport:
         """Every loop the session lost so far, as one structured report
@@ -209,6 +227,7 @@ class ReproService:
         started: float,
         validated: bool,
         telemetry: Optional[ExecutionTelemetry] = None,
+        store_hit: bool = False,
     ) -> ResponseMeta:
         return ResponseMeta(
             fingerprint=fingerprint,
@@ -217,7 +236,47 @@ class ReproService:
             jobs=self.jobs,
             validated=validated,
             telemetry=telemetry,
+            store=(
+                None
+                if self.store is None
+                else self.store.telemetry(store_hit)
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # Persistent store plumbing
+    # ------------------------------------------------------------------
+    def _store_load(self, fingerprint: str, kind: type):
+        """A decoded stored response of the right kind, or ``None``.
+
+        Corruption, truncation and schema drift are all misses (the
+        store's :meth:`~repro.service.store.ResultStore.load` contract);
+        a decodable entry of the wrong envelope kind is ignored too.
+        """
+        if self.store is None:
+            return None
+        from .codec import loads_response
+
+        response = self.store.load(fingerprint, loads_response)
+        if response is None or not isinstance(response, kind):
+            return None
+        return response
+
+    def _store_put(self, response) -> None:
+        """Persist one complete response (partial results never land).
+
+        Store failures (full disk, permissions) must not break the
+        computation the store only accelerates, so they are swallowed.
+        """
+        if self.store is None:
+            return
+        from ..errors import CodecError, StoreError
+        from .codec import dumps_response
+
+        try:
+            self.store.put(response.meta.fingerprint, dumps_response(response))
+        except (CodecError, StoreError, OSError):
+            pass
 
     # ------------------------------------------------------------------
     # Single-loop scheduling
@@ -235,6 +294,19 @@ class ReproService:
                 outcome=cached,
                 meta=self._meta(fingerprint, True, started, validated),
             )
+        stored = self._store_load(fingerprint, ScheduleResponse)
+        if stored is not None:
+            # A store hit is a cache hit whose payload is the decoded
+            # metric surface (a StoredOutcome), not a live schedule.
+            self.cache_hits += 1
+            self._cache[fingerprint] = stored.outcome
+            return ScheduleResponse(
+                request=request,
+                outcome=stored.outcome,
+                meta=self._meta(
+                    fingerprint, True, started, validated, store_hit=True
+                ),
+            )
         self.cache_misses += 1
         machine = self.resolve_machine(request.machine)
         scheduler = self._scheduler_for(request, machine)
@@ -242,11 +314,13 @@ class ReproService:
         if request.full_recheck and outcome.is_modulo:
             outcome.schedule.validate(full_recheck=True)
         self._cache[fingerprint] = outcome
-        return ScheduleResponse(
+        response = ScheduleResponse(
             request=request,
             outcome=outcome,
             meta=self._meta(fingerprint, False, started, validated),
         )
+        self._store_put(response)
+        return response
 
     # ------------------------------------------------------------------
     # Suite evaluation
@@ -269,8 +343,16 @@ class ReproService:
         started = time.perf_counter()
         fingerprints = [request.fingerprint() for request in requests]
         todo: Dict[str, Tuple[EvaluationRequest, BaseScheduler]] = {}
+        store_hits = set()  # fingerprints served from the persistent store
         for request, fingerprint in zip(requests, fingerprints):
             if fingerprint in self._cache or fingerprint in todo:
+                continue
+            stored = self._store_load(fingerprint, EvaluationResponse)
+            if stored is not None:
+                # Promote the decoded result into the in-process memo so
+                # repeats within the session skip the store entirely.
+                self._cache[fingerprint] = stored.result
+                store_hits.add(fingerprint)
                 continue
             machine = self.resolve_machine(request.machine)
             todo[fingerprint] = (request, self._scheduler_for(request, machine))
@@ -335,9 +417,21 @@ class ReproService:
                         started,
                         request.validation_requested(),
                         telemetry=None if hit else snapshot,
+                        store_hit=fingerprint in store_hits,
                     ),
                 )
             )
+        # Write freshly computed, *complete* responses back to the store
+        # (the first occurrence carries the populating meta; partial
+        # keep-going results are never persisted).
+        if self.store is not None:
+            for response in responses:
+                if (
+                    not response.meta.cache_hit
+                    and response.meta.fingerprint in produced
+                    and not response.result.failures
+                ):
+                    self._store_put(response)
         return responses
 
     # ------------------------------------------------------------------
@@ -378,6 +472,26 @@ class ReproService:
             self.cache_hits += 1
             return BatchHandle(
                 self, request, fingerprint, task=inflight, shared=True
+            )
+        stored = self._store_load(fingerprint, EvaluationResponse)
+        if stored is not None:
+            self.cache_hits += 1
+            self._cache[fingerprint] = stored.result
+            return BatchHandle(
+                self,
+                request,
+                fingerprint,
+                response=EvaluationResponse(
+                    request=request,
+                    result=stored.result,
+                    meta=self._meta(
+                        fingerprint,
+                        True,
+                        started,
+                        request.validation_requested(),
+                        store_hit=True,
+                    ),
+                ),
             )
         self.cache_misses += 1
         machine = self.resolve_machine(request.machine)
@@ -434,7 +548,7 @@ class ReproService:
             self.telemetry.merge(handle._task.telemetry)
             self.failures.extend(result.failures)
         request = handle.request
-        return EvaluationResponse(
+        response = EvaluationResponse(
             request=request,
             result=result,
             meta=ResponseMeta(
@@ -444,5 +558,13 @@ class ReproService:
                 jobs=self.jobs,
                 validated=request.validation_requested(),
                 telemetry=handle._task.telemetry.freeze(),
+                store=(
+                    None
+                    if self.store is None
+                    else self.store.telemetry(False)
+                ),
             ),
         )
+        if not handle._shared and not result.failures:
+            self._store_put(response)
+        return response

@@ -1,0 +1,367 @@
+"""Content-addressed result stores keyed by request ``fingerprint()``.
+
+A :class:`ResultStore` maps a request's deterministic sha256 fingerprint
+to the canonical encoded text of its response (see
+:mod:`repro.service.codec`).  Two implementations:
+
+* :class:`MemoryStore` — an in-process LRU over encoded text, for tests
+  and for composing store semantics without touching disk;
+* :class:`DiskStore` — sharded content-addressed files
+  (``objects/<fp[:2]>/<fp>.json``) with **atomic** writes (temp file +
+  ``os.replace`` in the same directory, so readers never observe a
+  half-written entry) and **LRU eviction by size budget** (access time
+  bumped on every hit; least-recently-used entries evicted when the
+  byte budget is exceeded).
+
+Both stores obey the same safety contract, enforced in :meth:`load`:
+a corrupted, truncated or wrong-schema entry is **a miss, never an
+error** — the decoder's :class:`~repro.errors.CodecError` drops the
+entry and the caller recomputes.  Stores count ``hits`` / ``misses`` /
+``evictions``; the service session surfaces a :class:`StoreTelemetry`
+snapshot on every :class:`~repro.service.responses.ResponseMeta` so
+callers can see whether the content-addressed layer served them.
+
+:func:`open_store` resolves a store *spec* string (``memory``, ``disk``,
+``disk:PATH``, or a bare path) — unknown names raise the registries'
+structured :class:`~repro.service.registry.RegistryError` with the
+alternatives listed, the same contract as scheduler/machine lookups.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CodecError, StoreError
+
+#: Store spec names :func:`open_store` accepts (besides bare paths).
+STORE_NAMES = ("memory", "disk")
+
+
+@dataclass(frozen=True)
+class StoreTelemetry:
+    """Store counters surfaced on ``ResponseMeta`` (one per response).
+
+    ``hit`` is whether *this* response was served from the store;
+    ``hits``/``misses``/``evictions`` are the store's counters at
+    response time (session-lifetime for a memory store, process-lifetime
+    for a disk store object).
+    """
+
+    backend: str
+    hit: bool
+    hits: int
+    misses: int
+    evictions: int
+
+
+class ResultStore:
+    """Protocol + shared machinery for content-addressed result stores.
+
+    Subclasses implement the raw text operations (``_read`` / ``_write``
+    / ``_delete`` / ``keys`` / entry sizes); this base owns the counters
+    and the corruption-is-a-miss :meth:`load` contract.
+    """
+
+    #: Backend name reported in telemetry and ``repro cache`` output.
+    name = "store"
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- raw operations (subclass responsibility) ----------------------
+    def _read(self, fingerprint: str) -> Optional[str]:
+        raise NotImplementedError
+
+    def _write(self, fingerprint: str, text: str) -> None:
+        raise NotImplementedError
+
+    def _delete(self, fingerprint: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Every stored fingerprint (no particular order)."""
+        raise NotImplementedError
+
+    def total_bytes(self) -> int:
+        """Encoded bytes currently stored."""
+        raise NotImplementedError
+
+    def _lru_order(self) -> List[str]:
+        """Fingerprints least-recently-used first (eviction order)."""
+        raise NotImplementedError
+
+    # -- the service-facing contract ------------------------------------
+    def get(self, fingerprint: str) -> Optional[str]:
+        """Raw entry text, counting a hit or miss (None = miss)."""
+        text = self._read(fingerprint)
+        if text is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def load(self, fingerprint: str, decoder: Callable[[str], object]):
+        """Decode one entry; **corruption is a miss, never an error**.
+
+        A present entry that ``decoder`` rejects (truncated file, stale
+        schema, bit rot) is deleted, demoted to a miss, and ``None`` is
+        returned — the caller recomputes and overwrites.
+        """
+        text = self._read(fingerprint)
+        if text is None:
+            self.misses += 1
+            return None
+        try:
+            value = decoder(text)
+        except CodecError:
+            self._delete(fingerprint)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, fingerprint: str, text: str) -> None:
+        """Store one entry atomically, then enforce the size budget.
+
+        The entry just written is the most recently used, so eviction
+        removes it last — unless it alone exceeds the whole budget, in
+        which case it is evicted too (the store is too small for it).
+        """
+        self._write(fingerprint, text)
+        self._evict_to_budget()
+
+    def delete(self, fingerprint: str) -> None:
+        self._delete(fingerprint)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for fingerprint in self.keys():
+            self._delete(fingerprint)
+            removed += 1
+        return removed
+
+    def _evict_to_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        while self.total_bytes() > self.max_bytes:
+            order = self._lru_order()
+            if not order:
+                return
+            self._delete(order[0])
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "entries": len(self.keys()),
+            "bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def telemetry(self, hit: bool) -> StoreTelemetry:
+        """The :class:`StoreTelemetry` snapshot for one response."""
+        return StoreTelemetry(
+            backend=self.name,
+            hit=hit,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
+    def close(self) -> None:
+        """Release resources (no-op for both built-in backends)."""
+
+
+class MemoryStore(ResultStore):
+    """In-process LRU store over encoded text."""
+
+    name = "memory"
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        super().__init__(max_bytes)
+        # Insertion order doubles as recency order: entries move to the
+        # end on every read and write.
+        self._entries: Dict[str, str] = {}
+
+    def _read(self, fingerprint: str) -> Optional[str]:
+        text = self._entries.get(fingerprint)
+        if text is not None:
+            self._entries.pop(fingerprint)
+            self._entries[fingerprint] = text
+        return text
+
+    def _write(self, fingerprint: str, text: str) -> None:
+        self._entries.pop(fingerprint, None)
+        self._entries[fingerprint] = text
+
+    def _delete(self, fingerprint: str) -> None:
+        self._entries.pop(fingerprint, None)
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def total_bytes(self) -> int:
+        return sum(len(text.encode("utf-8")) for text in self._entries.values())
+
+    def _lru_order(self) -> List[str]:
+        return list(self._entries)
+
+
+class DiskStore(ResultStore):
+    """Sharded content-addressed files with atomic writes and LRU eviction.
+
+    Layout: ``<root>/objects/<fingerprint[:2]>/<fingerprint>.json`` —
+    256 shards keep per-directory entry counts sane at fleet scale.
+    Writes go to a temp file in the target shard and land via
+    ``os.replace``, so concurrent readers (other processes, a daemon)
+    either see the old complete entry or the new complete entry, never a
+    torn one.  Reads bump the entry's access time (``os.utime``), which
+    is the LRU clock eviction sorts by.
+    """
+
+    name = "disk"
+
+    _SUFFIX = ".json"
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
+        super().__init__(max_bytes)
+        self.root = os.path.abspath(root)
+        self._objects = os.path.join(self.root, "objects")
+        try:
+            os.makedirs(self._objects, exist_ok=True)
+        except OSError as error:
+            raise StoreError(f"cannot create store at {self.root}: {error}") from error
+
+    def _path(self, fingerprint: str) -> str:
+        shard = fingerprint[:2] if len(fingerprint) >= 2 else "xx"
+        return os.path.join(self._objects, shard, fingerprint + self._SUFFIX)
+
+    def _read(self, fingerprint: str) -> Optional[str]:
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except OSError:
+            # Unreadable entry (permissions, I/O error): a miss, not an
+            # error — the caller recomputes.
+            return None
+        try:
+            os.utime(path)  # bump the LRU clock
+        except OSError:
+            pass
+        return text
+
+    def _write(self, fingerprint: str, text: str) -> None:
+        path = self._path(fingerprint)
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=self._SUFFIX, dir=shard_dir
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _delete(self, fingerprint: str) -> None:
+        try:
+            os.unlink(self._path(fingerprint))
+        except OSError:
+            pass
+
+    def _entries(self) -> Iterator[Tuple[str, os.stat_result]]:
+        try:
+            shards = sorted(os.listdir(self._objects))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self._objects, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(self._SUFFIX) or name.startswith("."):
+                    continue
+                try:
+                    stat = os.stat(os.path.join(shard_dir, name))
+                except OSError:
+                    continue
+                yield name[: -len(self._SUFFIX)], stat
+
+    def keys(self) -> List[str]:
+        return [fingerprint for fingerprint, _stat in self._entries()]
+
+    def total_bytes(self) -> int:
+        return sum(stat.st_size for _fingerprint, stat in self._entries())
+
+    def _lru_order(self) -> List[str]:
+        entries = list(self._entries())
+        entries.sort(key=lambda item: (item[1].st_atime, item[1].st_mtime, item[0]))
+        return [fingerprint for fingerprint, _stat in entries]
+
+
+def default_store_root() -> str:
+    """Where ``disk`` (no path) puts the store.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise the XDG cache home
+    (``~/.cache/repro/store``).
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(xdg, "repro", "store")
+
+
+def open_store(
+    spec: Optional[object], max_bytes: Optional[int] = None
+) -> Optional[ResultStore]:
+    """Resolve a store spec to a :class:`ResultStore` (None passes through).
+
+    Accepted specs: an existing :class:`ResultStore` instance,
+    ``"memory"``, ``"disk"`` (the default root), ``"disk:PATH"``, or a
+    bare filesystem path (anything containing a separator, or ``.``/
+    ``..``-relative).  Unknown names raise the structured
+    :class:`~repro.service.registry.RegistryError` (kind ``"store"``)
+    with the alternatives listed.
+    """
+    if spec is None or isinstance(spec, ResultStore):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise StoreError(f"store spec must be a name or path, got {spec!r}")
+    if spec == "memory":
+        return MemoryStore(max_bytes=max_bytes)
+    if spec == "disk":
+        return DiskStore(default_store_root(), max_bytes=max_bytes)
+    if spec.startswith("disk:"):
+        return DiskStore(spec[len("disk:"):], max_bytes=max_bytes)
+    if os.sep in spec or spec.startswith((".", "~")):
+        return DiskStore(os.path.expanduser(spec), max_bytes=max_bytes)
+    from .registry import RegistryError
+
+    raise RegistryError(
+        "store", spec, list(STORE_NAMES) + ["disk:PATH", "a filesystem path"]
+    )

@@ -257,3 +257,112 @@ class TestCommands:
     def test_parser_help_builds(self):
         parser = build_parser()
         assert parser.prog == "repro"
+
+
+class TestStoreAndCacheCommands:
+    """``--store`` on evaluate/bench and the ``repro cache`` subcommand."""
+
+    def _store(self, tmp_path):
+        return str(tmp_path / "store")
+
+    def test_evaluate_store_replay_identical_output(self, tmp_path, capsys):
+        args = [
+            "evaluate", "--clusters", "2", "--registers", "32",
+            "--programs", "1", "--store", self._store(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "misses=4" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        # Byte-identical stdout, 100% hits on the replay.
+        assert warm.out == cold.out
+        assert "cache: hits=4 misses=0" in warm.err
+
+    def test_store_counters_stay_off_stdout(self, tmp_path, capsys):
+        assert main([
+            "evaluate", "--clusters", "2", "--registers", "32",
+            "--programs", "1", "--store", self._store(tmp_path),
+            "--format", "csv",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cache:" not in captured.out
+        assert "cache:" in captured.err
+
+    def test_cache_stats_and_verify_and_clear(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main([
+            "evaluate", "--clusters", "2", "--registers", "32",
+            "--programs", "1", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   4" in out
+        assert "backend:   disk" in out
+        assert main(["cache", "verify", "--store", store]) == 0
+        assert "verified 4 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert "removed 4" in capsys.readouterr().out
+        assert main(["cache", "stats", "--store", store]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+    def test_cache_verify_flags_and_purges_corruption(self, tmp_path, capsys):
+        import os
+
+        store = self._store(tmp_path)
+        assert main([
+            "evaluate", "--clusters", "2", "--registers", "32",
+            "--programs", "1", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        objects = os.path.join(store, "objects")
+        victim = None
+        for shard in os.listdir(objects):
+            names = os.listdir(os.path.join(objects, shard))
+            if names:
+                victim = os.path.join(objects, shard, names[0])
+                break
+        with open(victim, "w") as handle:
+            handle.write('{"schema": "repro-codec/1", "tru')
+        assert main(["cache", "verify", "--store", store]) == 1
+        captured = capsys.readouterr()
+        assert "verified 3 entries" in captured.out
+        assert "corrupt" in captured.err
+        assert main(["cache", "verify", "--purge", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--store", store]) == 0
+        assert "verified 3 entries" in capsys.readouterr().out
+
+    def test_cache_unknown_store_is_structured_error(self, capsys):
+        assert main(["cache", "stats", "--store", "redis"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown store 'redis'" in err
+        assert "memory" in err
+
+    def test_bench_with_store(self, tmp_path, capsys):
+        args = [
+            "bench", "--machine", "2x32", "--programs", "1",
+            "--store", self._store(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "cache:" in capsys.readouterr().err
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "cache: hits=3 misses=0" in captured.err
+
+    def test_daemon_rejects_fault_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"faults": []}))
+        assert main([
+            "evaluate", "--clusters", "2", "--registers", "32",
+            "--daemon", "--fault-plan", str(plan),
+        ]) == 1
+        assert "--fault-plan" in capsys.readouterr().err
+
+    def test_serve_stop_without_daemon(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_DAEMON_SOCKET", str(tmp_path / "no.sock")
+        )
+        assert main(["serve", "--stop"]) == 0
+        assert "no daemon running" in capsys.readouterr().err

@@ -1,0 +1,333 @@
+"""The scheduling daemon and its client: wire protocol, lifecycle, parity.
+
+Most tests run the daemon in a thread (``jobs=1`` so no worker pool is
+spawned) against a short unix socket path — AF_UNIX paths are limited to
+~100 bytes, so sockets live under ``tempfile.mkdtemp()`` rather than
+pytest's deeply nested ``tmp_path``.  One end-to-end test exercises the
+real thing: CLI autospawn of a detached ``repro serve`` process and
+``repro serve --stop``.
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.errors import DaemonError
+from repro.eval.export import suite_result_to_json
+from repro.service import (
+    EvaluationRequest,
+    ReproService,
+    ScheduleRequest,
+    ServiceClient,
+    WIRE_SCHEMA,
+)
+from repro.service.daemon import ReproDaemon, parse_endpoint, wait_for_daemon
+from repro.workloads.kernels import daxpy, stencil5
+from repro.workloads.spec import Benchmark
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def mini_suite():
+    return (Benchmark(name="mini", loops=(daxpy(), stencil5())),)
+
+
+@pytest.fixture
+def socket_path():
+    directory = tempfile.mkdtemp(prefix="repro-dt-")
+    try:
+        yield os.path.join(directory, "d.sock")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+@pytest.fixture
+def daemon(socket_path):
+    server = ReproDaemon(endpoint=socket_path, jobs=1, idle_timeout=60)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while not os.path.exists(socket_path):
+        if time.monotonic() > deadline:  # pragma: no cover
+            raise RuntimeError("daemon socket never appeared")
+        time.sleep(0.01)
+    yield server
+    server._stopping = True
+    thread.join(timeout=10)
+
+
+class TestWireProtocol:
+    def _raw_call(self, socket_path, message):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(socket_path)
+        try:
+            sock.sendall((json.dumps(message) + "\n").encode())
+            reader = sock.makefile("r")
+            return json.loads(reader.readline())
+        finally:
+            sock.close()
+
+    def test_ping(self, daemon, socket_path):
+        reply = self._raw_call(
+            socket_path, {"schema": WIRE_SCHEMA, "op": "ping"}
+        )
+        assert reply["ok"] is True
+        assert reply["server"]["jobs"] == 1
+        assert reply["server"]["schema"] == WIRE_SCHEMA
+        assert reply["server"]["pid"] == os.getpid()
+
+    def test_wrong_schema_rejected(self, daemon, socket_path):
+        reply = self._raw_call(
+            socket_path, {"schema": "repro-wire/0", "op": "ping"}
+        )
+        assert reply["ok"] is False
+        assert "schema" in reply["error"]["message"]
+
+    def test_unknown_op_rejected(self, daemon, socket_path):
+        reply = self._raw_call(
+            socket_path, {"schema": WIRE_SCHEMA, "op": "frobnicate"}
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "DaemonError"
+
+    def test_malformed_line_rejected_without_killing_daemon(
+        self, daemon, socket_path
+    ):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(socket_path)
+        try:
+            sock.sendall(b"this is not json\n")
+            reader = sock.makefile("r")
+            reply = json.loads(reader.readline())
+            assert reply["ok"] is False
+            # Same connection still works afterwards.
+            sock.sendall(
+                (json.dumps({"schema": WIRE_SCHEMA, "op": "ping"}) + "\n").encode()
+            )
+            assert json.loads(reader.readline())["ok"] is True
+        finally:
+            sock.close()
+
+    def test_request_id_echoed(self, daemon, socket_path):
+        reply = self._raw_call(
+            socket_path, {"schema": WIRE_SCHEMA, "op": "ping", "id": 7}
+        )
+        assert reply["id"] == 7
+
+
+class TestClient:
+    @staticmethod
+    def _scrub_timing(text):
+        # cpu_seconds is a wall-clock measurement: the only field two
+        # independent computations legitimately disagree on.
+        payload = json.loads(text)
+
+        def recurse(node):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    if "cpu_seconds" in key:
+                        node[key] = 0
+                    else:
+                        recurse(value)
+            elif isinstance(node, list):
+                for item in node:
+                    recurse(item)
+
+        recurse(payload)
+        return json.dumps(payload, sort_keys=True)
+
+    def test_evaluate_matches_local_execution(self, daemon, socket_path):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+            remote = client.evaluate(request)
+        with ReproService(jobs=1) as service:
+            local = service.evaluate(request)
+        assert remote.meta.fingerprint == local.meta.fingerprint
+        # Everything deterministic is identical; only wall-clock timing
+        # fields may differ between the two computations.
+        assert self._scrub_timing(
+            suite_result_to_json(remote.result)
+        ) == self._scrub_timing(suite_result_to_json(local.result))
+        assert (
+            remote.result.per_benchmark["mini"].ipc
+            == local.result.per_benchmark["mini"].ipc
+        )
+
+    def test_second_call_is_a_daemon_cache_hit(self, daemon, socket_path):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+            first = client.evaluate(request)
+            second = client.evaluate(request)
+            assert first.meta.cache_hit is False
+            assert second.meta.cache_hit is True
+            assert client.cache_hits == 1 and client.cache_misses == 1
+            stats = client.stats()
+            assert stats["cache"]["hits"] == 1
+
+    def test_schedule_round_trip(self, daemon, socket_path):
+        request = ScheduleRequest(
+            kernel="daxpy", machine="2x32", scheduler="gp"
+        )
+        with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+            remote = client.schedule(request)
+        with ReproService(jobs=1) as service:
+            local = service.schedule(request)
+        assert remote.outcome.ipc() == local.outcome.ipc()
+        assert (
+            remote.outcome.execution_cycles()
+            == local.outcome.execution_cycles()
+        )
+
+    def test_submit_as_completed_surface(self, daemon, socket_path):
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+            handle = client.submit(request)
+            assert handle.done()
+            responses = list(client.as_completed([handle]))
+        assert len(responses) == 1
+        assert responses[0].meta.fingerprint == request.fingerprint()
+
+    def test_resolve_machine_and_jobs(self, daemon, socket_path):
+        with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+            machine = client.resolve_machine("2x32")
+            assert machine.num_clusters == 2
+            assert client.jobs == 1
+
+    def test_keep_going_travels_on_the_wire(self, daemon, socket_path):
+        # keep_going is per-call wire state; a healthy suite under it is
+        # still complete (ok, empty failure report) and the daemon's own
+        # keep_going default is restored afterwards.
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ServiceClient(
+            endpoint=socket_path, autospawn=False, keep_going=True
+        ) as client:
+            response = client.evaluate(request)
+        assert response.ok
+        assert not client.failure_report()
+        assert daemon.service.keep_going is False
+
+    def test_no_daemon_and_no_autospawn_raises(self, socket_path):
+        client = ServiceClient(endpoint=socket_path, autospawn=False)
+        with pytest.raises(DaemonError):
+            client.connect()
+
+
+class TestLifecycle:
+    def test_stale_socket_recovered(self, socket_path):
+        # A dead predecessor's socket file must not block a new daemon.
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(socket_path)
+        leftover.close()  # file remains, nothing listening
+        assert os.path.exists(socket_path)
+        server = ReproDaemon(endpoint=socket_path, jobs=1, idle_timeout=60)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # The stale file exists from the start, so wait by probing
+            # the connection, not the filesystem.
+            wait_for_daemon(socket_path, timeout=10)
+            with ServiceClient(endpoint=socket_path, autospawn=False) as client:
+                assert client.ping()["jobs"] == 1
+        finally:
+            server._stopping = True
+            thread.join(timeout=10)
+
+    def test_second_daemon_refuses_to_bind(self, daemon, socket_path):
+        second = ReproDaemon(endpoint=socket_path, jobs=1)
+        with pytest.raises(DaemonError, match="already serving"):
+            second._bind()
+
+    def test_shutdown_op_stops_daemon(self, socket_path):
+        server = ReproDaemon(endpoint=socket_path, jobs=1, idle_timeout=60)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not os.path.exists(socket_path):
+            time.sleep(0.01)
+            assert time.monotonic() < deadline
+        client = ServiceClient(endpoint=socket_path, autospawn=False)
+        client.connect()
+        client.shutdown_server()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert not os.path.exists(socket_path)
+
+    def test_idle_timeout_shuts_daemon_down(self, socket_path):
+        server = ReproDaemon(endpoint=socket_path, jobs=1, idle_timeout=0.3)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert not os.path.exists(socket_path)
+
+    def test_nonpositive_idle_timeout_rejected(self, socket_path):
+        with pytest.raises(DaemonError):
+            ReproDaemon(endpoint=socket_path, idle_timeout=-1)
+
+    def test_parse_endpoint_forms(self):
+        assert parse_endpoint("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_endpoint("tcp:9000") == ("tcp", ("127.0.0.1", 9000))
+        assert parse_endpoint("tcp:0.0.0.0:9000") == (
+            "tcp", ("0.0.0.0", 9000)
+        )
+        with pytest.raises(DaemonError):
+            parse_endpoint("tcp:not-a-port")
+
+
+class TestEndToEnd:
+    def test_cli_autospawn_and_stop(self, socket_path):
+        """The real thing: ``--daemon`` spawns a detached ``repro
+        serve``, the evaluation goes through it, ``serve --stop``
+        terminates it."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT
+        env["REPRO_DAEMON_SOCKET"] = socket_path
+        run = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "evaluate",
+                "--clusters", "2", "--registers", "32", "--programs", "1",
+                "--daemon",
+            ],
+            capture_output=True, text=True, env=env, timeout=180,
+        )
+        assert run.returncode == 0, run.stderr
+        assert "cache: hits=0 misses=4" in run.stderr
+        # A second invocation is served from the daemon's warm cache,
+        # byte-identically.
+        again = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "evaluate",
+                "--clusters", "2", "--registers", "32", "--programs", "1",
+                "--daemon",
+            ],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert again.returncode == 0, again.stderr
+        assert again.stdout == run.stdout
+        assert "cache: hits=4 misses=0" in again.stderr
+        stop = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stop"],
+            capture_output=True, text=True, env=env, timeout=30,
+        )
+        assert stop.returncode == 0, stop.stderr
+        assert "daemon stopped" in stop.stderr
+        deadline = time.monotonic() + 10
+        while os.path.exists(socket_path) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not os.path.exists(socket_path)

@@ -153,3 +153,60 @@ class TestStats:
         text = describe(daxpy())
         assert "daxpy" in text and "RecMII" in text
         assert "\n" not in text
+
+
+class TestSerializeReplayFidelity:
+    """Round-trips must preserve adjacency-list *order*, not just
+    structure: schedulers break ties in adjacency order, so a loop
+    rebuilt from JSON must schedule bit-identically to the original."""
+
+    def _workload_loops(self):
+        from repro.workloads.spec import suite_for_tier
+
+        return [
+            loop
+            for benchmark in suite_for_tier("paper")
+            for loop in benchmark.loops
+        ]
+
+    def test_adjacency_orders_survive_round_trip(self):
+        for loop in self._workload_loops():
+            rebuilt = loop_from_dict(loop_to_dict(loop))
+            for uid in loop.ddg.uids():
+                assert loop.ddg.out_edges(uid) == rebuilt.ddg.out_edges(uid)
+                assert loop.ddg.in_edges(uid) == rebuilt.ddg.in_edges(uid)
+
+    def test_serialized_form_is_a_fixed_point(self):
+        for loop in self._workload_loops()[:8]:
+            once = loop_to_dict(loop)
+            twice = loop_to_dict(loop_from_dict(once))
+            assert json.dumps(once, sort_keys=True) == json.dumps(
+                twice, sort_keys=True
+            )
+
+    def test_round_tripped_loop_schedules_identically(self):
+        from repro.schedule.drivers import UracamScheduler
+        from repro.workloads.spec import make_benchmark
+
+        # URACAM's priority function is the most tie-break-sensitive of
+        # the three algorithms — this is the scheduler that exposed the
+        # original in-edge interleaving loss.
+        machine = two_cluster(32)
+        for loop in make_benchmark("tomcatv").loops:
+            rebuilt = loop_from_dict(loop_to_dict(loop))
+            original = UracamScheduler(machine).schedule(loop)
+            replayed = UracamScheduler(machine).schedule(rebuilt)
+            assert original.ipc() == replayed.ipc()
+            assert original.execution_cycles() == replayed.execution_cycles()
+
+    def test_edges_replayable_covers_every_edge_once(self):
+        for loop in self._workload_loops()[:8]:
+            replayable = loop.ddg.edges_replayable()
+            assert len(replayable) == loop.ddg.num_edges
+            assert sorted(
+                (d.src, d.dst, d.latency, d.distance, d.kind.value)
+                for d in replayable
+            ) == sorted(
+                (d.src, d.dst, d.latency, d.distance, d.kind.value)
+                for d in loop.ddg.edges()
+            )

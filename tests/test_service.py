@@ -506,3 +506,213 @@ class TestFacadeLegacyEquivalence:
                 service.evaluate(request_pinned).result, timing=False
             )
         assert a == b
+
+
+# ----------------------------------------------------------------------
+# The persistent store seam
+# ----------------------------------------------------------------------
+class TestSessionStoreSeam:
+    def test_store_composes_under_the_memo(self):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ReproService(jobs=1, store=store) as service:
+            computed = service.evaluate(request)
+            assert computed.meta.cache_hit is False
+            assert computed.meta.store.hit is False
+            memo = service.evaluate(request)
+            # The repeat hits the in-process memo, not the store.
+            assert memo.meta.cache_hit is True
+            assert memo.meta.store.hit is False
+        # A fresh session over the same store replays persistently.
+        with ReproService(jobs=1, store=store) as fresh:
+            replayed = fresh.evaluate(request)
+            assert replayed.meta.cache_hit is True
+            assert replayed.meta.store.hit is True
+            assert (
+                replayed.result.per_benchmark["mini"].ipc
+                == computed.result.per_benchmark["mini"].ipc
+            )
+
+    def test_store_spec_string_owned_by_session(self, tmp_path):
+        with ReproService(jobs=1, store=f"disk:{tmp_path}/s") as service:
+            assert service.store is not None
+            assert service.store.name == "disk"
+            assert service._owns_store
+
+    def test_schedule_requests_replay_from_store(self):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        request = ScheduleRequest(
+            kernel="daxpy", machine="2x32", scheduler="gp"
+        )
+        with ReproService(store=store) as first:
+            computed = first.schedule(request)
+        with ReproService(store=store) as second:
+            replayed = second.schedule(request)
+        assert replayed.meta.cache_hit is True
+        assert replayed.meta.store.hit is True
+        assert replayed.outcome.ipc() == computed.outcome.ipc()
+
+    def test_submit_served_from_store(self):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ReproService(jobs=1, store=store) as first:
+            first.evaluate(request)
+        with ReproService(jobs=1, store=store) as second:
+            handle = second.submit(request)
+            assert handle.done()
+            response = handle.response()
+            assert response.meta.cache_hit is True
+            assert response.meta.store.hit is True
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_partial_results_are_never_persisted(self, jobs):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        suite = mini_suite()
+        plan = FaultPlan(
+            faults=(
+                Fault(
+                    benchmark=suite[0].name,
+                    loop_name=suite[0].loops[0].name,
+                    kind="raise",
+                    attempt=None,
+                ),
+            )
+        )
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=suite
+        )
+        with ReproService(
+            jobs=jobs,
+            store=store,
+            keep_going=True,
+            faults=plan,
+            policy=RetryPolicy(sleep=lambda _s: None),
+        ) as service:
+            response = service.evaluate(request)
+            assert not response.ok
+        assert store.keys() == []  # the gap must never replay
+
+    def test_corrupted_store_entry_recomputes(self):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        request = EvaluationRequest(
+            scheduler="gp", machine="2x32", suite=mini_suite()
+        )
+        with ReproService(jobs=1, store=store) as first:
+            good = first.evaluate(request)
+        store._entries[request.fingerprint()] = '{"schema": "repro-codec/1", tr'
+        with ReproService(jobs=1, store=store) as second:
+            recomputed = second.evaluate(request)
+        assert recomputed.meta.cache_hit is False
+        assert recomputed.meta.store.hit is False
+        assert (
+            recomputed.result.per_benchmark["mini"].ipc
+            == good.result.per_benchmark["mini"].ipc
+        )
+        # The recompute overwrote the corrupt entry with a good one.
+        with ReproService(jobs=1, store=store) as third:
+            assert third.evaluate(request).meta.store.hit is True
+
+
+class TestEvaluateManyPerRequestMeta:
+    """Regression: per-request ``cache_hit`` in mixed batches."""
+
+    def _requests(self):
+        return (
+            EvaluationRequest(
+                scheduler="gp", machine="2x32", suite=mini_suite()
+            ),
+            EvaluationRequest(
+                scheduler="uracam", machine="2x32", suite=mini_suite()
+            ),
+        )
+
+    def test_mixed_batch_flags_each_request(self):
+        first, second = self._requests()
+        with ReproService(jobs=1) as service:
+            service.evaluate(first)
+            responses = service.evaluate_many([first, second])
+        assert responses[0].meta.cache_hit is True
+        assert responses[1].meta.cache_hit is False
+
+    def test_duplicates_within_one_batch(self):
+        first, _ = self._requests()
+        with ReproService(jobs=1) as service:
+            responses = service.evaluate_many([first, first])
+        # The batch schedules once; the populating occurrence reports
+        # the miss, the duplicate reports the hit.
+        assert responses[0].meta.cache_hit is False
+        assert responses[1].meta.cache_hit is True
+        assert responses[0].result is responses[1].result
+
+    def test_mixed_store_hits_flag_per_request(self):
+        from repro.service import MemoryStore
+
+        store = MemoryStore()
+        first, second = self._requests()
+        with ReproService(jobs=1, store=store) as warm:
+            warm.evaluate(first)
+        with ReproService(jobs=1, store=store) as service:
+            responses = service.evaluate_many([first, second])
+        assert responses[0].meta.cache_hit is True
+        assert responses[0].meta.store.hit is True
+        assert responses[1].meta.cache_hit is False
+        assert responses[1].meta.store.hit is False
+
+
+class TestFingerprintCrossProcess:
+    def test_fingerprints_stable_across_processes(self):
+        """The store key contract: a fingerprint computed in another
+        interpreter (different PYTHONHASHSEED) matches this one's."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.service import EvaluationRequest, ScheduleRequest\n"
+            "from repro.workloads.kernels import daxpy, stencil5\n"
+            "from repro.workloads.spec import Benchmark\n"
+            "suite = (Benchmark(name='mini', loops=(daxpy(), stencil5())),)\n"
+            "print(EvaluationRequest(scheduler='gp', machine='2x32',"
+            " suite=suite).fingerprint())\n"
+            "print(EvaluationRequest(scheduler='uracam', machine='c6x',"
+            " suite='paper', programs=2).fingerprint())\n"
+            "print(ScheduleRequest(kernel='daxpy', machine='2x32',"
+            " scheduler='gp').fingerprint())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env["PYTHONHASHSEED"] = "12345"  # different hash randomization
+        run = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert run.returncode == 0, run.stderr
+        child = run.stdout.split()
+        local = [
+            EvaluationRequest(
+                scheduler="gp", machine="2x32", suite=mini_suite()
+            ).fingerprint(),
+            EvaluationRequest(
+                scheduler="uracam", machine="c6x", suite="paper", programs=2
+            ).fingerprint(),
+            ScheduleRequest(
+                kernel="daxpy", machine="2x32", scheduler="gp"
+            ).fingerprint(),
+        ]
+        assert child == local

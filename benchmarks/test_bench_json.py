@@ -6,16 +6,16 @@ timings of the Table 2 configurations and the micro components in a
 before/after-comparable schema, so future PRs can diff their scheduling
 CPU time against the committed baseline.
 
-Schema (``repro-bench/v4``)::
+Schema (``repro-bench/v5``)::
 
     {
-      "schema": "repro-bench/v4",
+      "schema": "repro-bench/v5",
       "table2": {"<config>": {"<scheduler>": seconds_per_benchmark}},
       "micro":  {"<component>": best_seconds},
       "parallel": {"suite": "extended", "loops": N, "scheduler": "gp",
                    "machine": "<config>", "jobs": J, "cpu_count": C,
-                   "oversubscribed": bool,
-                   "wall_seconds": {"jobs1": s, "jobsJ": s}},
+                   "oversubscribed": bool, "skipped": bool,
+                   "wall_seconds": {"jobs1": s, ["jobsJ": s]}},
       "validate_wall_clock": {"suite": "extended", "machine": "<config>",
                               "scheduler": "gp", "schedules": N,
                               "full_recheck_seconds": s,
@@ -24,11 +24,18 @@ Schema (``repro-bench/v4``)::
                                          "schedules": N,
                                          "full_sweep_seconds": s,
                                          "cached_seconds": s},
-      "feasibility_cache": {"<config>": {"scheduler": "gp",
-                                         "suite": "paper|extended",
-                                         "hits": N, "scans": N,
-                                         "hit_rate": r}},
-      "meta":   {"rounds": N, "suite_benchmarks": M}
+      "feasibility_cache": {"<config>": {"<scheduler>":
+                                         {"suite": "paper|extended",
+                                          "hits": N, "scans": N,
+                                          "hit_rate": r}}},
+      "ii_search": {"<config>": {"<scheduler>":
+                                 {"suite": "paper|extended",
+                                  "attempts": N,
+                                  "per_ii_attempts": {"<ii>": N},
+                                  "warm_start": {"seeded": N, "hits": N,
+                                                 "hit_rate": r}}}},
+      "meta":   {"rounds": N, "ab_rounds": {"gp": N, "uracam": N},
+                 "suite_benchmarks": M}
     }
 
 The ``parallel`` section times the whole extended suite (220 loops,
@@ -51,10 +58,34 @@ occupancy rows vs. the from-scratch reference sweep
 (``StructuralAnalysis.from_schedule``) over every edge, placement and
 transfer.
 
-``feasibility_cache`` (v4) records the engine's candidate-feasibility
-cache telemetry on the 4-cluster presets: the fraction of ``_window``
-slot visits retired because an earlier spill round proved the slot
-structurally infeasible.
+``feasibility_cache`` (v4, per-scheduler since v5) records the engine's
+candidate-feasibility cache telemetry on the 4-cluster presets: the
+fraction of ``_window`` slot visits retired because an earlier spill
+round proved the slot structurally infeasible.  All three clustered
+schedulers are recorded on the spill-heavy 4x32 paper tier.
+
+v5 additions on top:
+
+* ``micro`` gains an interleaved A/B of the flat-array hot-path
+  kernels: ``gp_schedule_loop`` / ``uracam_schedule_loop`` run with the
+  default engine options (array kernels + warm start) while the
+  ``*_reference`` twins force the pure dict/list reference path
+  (``EngineOptions(array_kernels=False, ii_warm_start=False)``).  Both
+  time the *engine attempt stage* only — the scheduler's partition and
+  policy are prepared once outside the timed region (they are identical
+  code in both legs; on medium loops the partitioner is ~75% of an
+  end-to-end ``schedule()`` call and would drown the kernel delta) —
+  aggregated over a fixed basket of medium/large loops so no single
+  workload's scheduling quirks dominate.  The legs alternate within
+  every round so machine drift hits both equally; the recorded value is
+  mean seconds per engine attempt.
+* ``ii_search`` records the II-search telemetry (attempt counts, the
+  per-II attempt histogram, warm-start seeding/hit rates).  Warm-start
+  counters are zero under the stock strictly-escalating II search —
+  cross-II seeding is disabled for soundness — and the baseline records
+  that honestly.
+* ``parallel.skipped`` flags a single-CPU host where the pooled timing
+  leg was skipped (it would measure contention, not speedup).
 """
 
 from __future__ import annotations
@@ -67,12 +98,17 @@ import time
 import pytest
 
 from repro.eval.figures import table2
-from repro.eval.metrics import feasibility_cache_stats
+from repro.eval.metrics import feasibility_cache_stats, ii_search_stats
 from repro.eval.runner import run_suite
 from repro.ir.analysis import analyze, rec_mii
 from repro.machine.presets import four_cluster, two_cluster
 from repro.partition.partitioner import MultilevelPartitioner
-from repro.schedule.drivers import GPScheduler, UracamScheduler
+from repro.schedule.drivers import (
+    FixedPartitionScheduler,
+    GPScheduler,
+    UracamScheduler,
+)
+from repro.schedule.engine import EngineOptions, SchedulingEngine
 from repro.schedule.mii import mii
 from repro.schedule.ordering import sms_order
 from repro.schedule.structural_core import StructuralAnalysis
@@ -85,7 +121,33 @@ _MEDIUM_SHAPE = LoopShape(
     40, mem_ratio=0.3, depth_bias=0.35, recurrences=1, trip_count=150
 )
 
+#: Engine-dominated body for the A/B micros: the flat-array win grows
+#: with the number of slot probes per attempt, so the basket leans on a
+#: large loop alongside the medium ones.
+_LARGE_SHAPE = LoopShape(
+    90, mem_ratio=0.25, depth_bias=0.4, recurrences=2, trip_count=200
+)
+
 _MICRO_ROUNDS = 3
+
+#: Forces the pure dict/list reference hot path for the A/B micros.
+_REFERENCE_OPTIONS = EngineOptions(array_kernels=False, ii_warm_start=False)
+
+#: (shape, seed, interleaved rounds) baskets for the engine-stage A/B.
+#: Seeds are deliberately diverse — per-seed deltas range from slightly
+#: negative to ~+15% depending on how much slot scanning the attempt
+#: does; the aggregate is what the baseline records.
+_GP_AB_BASKET = (
+    (_MEDIUM_SHAPE, 0, 60),
+    (_MEDIUM_SHAPE, 7, 60),
+    (_MEDIUM_SHAPE, 11, 60),
+    (_LARGE_SHAPE, 3, 60),
+    (_LARGE_SHAPE, 7, 40),
+)
+_URACAM_AB_BASKET = (
+    (_MEDIUM_SHAPE, 99, 60),
+    (_MEDIUM_SHAPE, 7, 60),
+)
 
 
 def _best_of_cold(fn, rounds=_MICRO_ROUNDS, prep=None):
@@ -107,6 +169,47 @@ def _best_of_cold(fn, rounds=_MICRO_ROUNDS, prep=None):
         fn(loop)
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def _engine_ab(scheduler_cls, machine, basket):
+    """Interleaved engine-stage A/B over a basket of loops.
+
+    For each ``(shape, seed, rounds)`` entry the scheduler's partition
+    and policy are built once, outside the timed region — that stage is
+    byte-for-byte the same code in both legs — then ``rounds``
+    alternating pairs of :class:`SchedulingEngine` attempts run at
+    ``mii + 1``, one with the default options (flat-array kernels + warm
+    start), one forcing the dict/list reference path.  Alternating which
+    leg goes first inside every round makes clock drift and cache warmth
+    hit both configurations symmetrically.  Returns mean seconds per
+    attempt for (array, reference).
+    """
+    array_options = EngineOptions()
+    total_a = total_b = 0.0
+    total_rounds = 0
+    for shape, seed, rounds in basket:
+        loop = generate_loop("bench_engine", shape, seed=seed)
+        sched = scheduler_cls(machine)
+        ii = mii(loop, machine) + 1
+        sched._prepare(loop, ii)
+        policy = sched._policy(loop, ii)
+        # Warm the per-graph memoized analyses so round 0 is not charged
+        # for them (they are shared by both legs anyway).
+        SchedulingEngine(loop, machine, ii, policy, _REFERENCE_OPTIONS).attempt()
+        for round_index in range(rounds):
+            legs = [("a", array_options), ("b", _REFERENCE_OPTIONS)]
+            if round_index % 2:
+                legs.reverse()
+            for which, options in legs:
+                started = time.perf_counter()
+                SchedulingEngine(loop, machine, ii, policy, options).attempt()
+                elapsed = time.perf_counter() - started
+                if which == "a":
+                    total_a += elapsed
+                else:
+                    total_b += elapsed
+        total_rounds += rounds
+    return total_a / total_rounds, total_b / total_rounds
 
 
 @pytest.mark.bench
@@ -136,13 +239,18 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
         "partitioner_four_cluster": _best_of_cold(
             lambda loop: partitioner.partition(loop, mii(loop, four64))
         ),
-        "gp_schedule_loop": _best_of_cold(
-            lambda loop: GPScheduler(four64).schedule(loop)
-        ),
-        "uracam_schedule_loop": _best_of_cold(
-            lambda loop: UracamScheduler(four64).schedule(loop)
-        ),
     }
+    # Interleaved A/B: the default engine (flat-array kernels + warm
+    # start) against the dict/list reference path, engine stage only,
+    # aggregated over the workload baskets.
+    gp_array, gp_reference = _engine_ab(GPScheduler, four64, _GP_AB_BASKET)
+    uracam_array, uracam_reference = _engine_ab(
+        UracamScheduler, four64, _URACAM_AB_BASKET
+    )
+    micro["gp_schedule_loop"] = gp_array
+    micro["gp_schedule_loop_reference"] = gp_reference
+    micro["uracam_schedule_loop"] = uracam_array
+    micro["uracam_schedule_loop_reference"] = uracam_reference
 
     timings = extended_parallel_timings
     schedules = [
@@ -173,36 +281,57 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
         StructuralAnalysis.from_schedule(schedule).check(schedule.machine)
     structural_full_seconds = time.perf_counter() - started
 
-    # Candidate-feasibility cache telemetry on the 4-cluster presets.
-    # The 4x64 numbers ride on the extended-tier sequential run already
-    # performed for the parallel timing (its in-process outcomes still
-    # carry their ScheduleStats); only the spill-heavy 4x32 preset —
-    # where the cache concentrates — needs one extra paper-suite run.
+    # Candidate-feasibility cache + II-search telemetry on the 4-cluster
+    # presets.  The 4x64 numbers ride on the extended-tier sequential run
+    # already performed for the parallel timing (its in-process outcomes
+    # still carry their ScheduleStats); the spill-heavy 4x32 preset —
+    # where the cache concentrates — gets one paper-suite run per
+    # clustered scheduler so all three are represented.
     extended_outcomes = [
         outcome
         for bench in timings["sequential_result"].per_benchmark.values()
         for outcome in bench.outcomes
     ]
+    four32_machine = four_cluster(32)
+    four32_outcomes = {}
+    for name, scheduler_cls in (
+        ("uracam", UracamScheduler),
+        ("fixed-partition", FixedPartitionScheduler),
+        ("gp", GPScheduler),
+    ):
+        run = run_suite(suite, scheduler_cls(four32_machine))
+        four32_outcomes[name] = [
+            outcome
+            for bench in run.per_benchmark.values()
+            for outcome in bench.outcomes
+        ]
     feasibility = {
         timings["machine"]: {
-            "scheduler": timings["scheduler"],
-            "suite": "extended",
-            **feasibility_cache_stats(extended_outcomes),
-        }
+            timings["scheduler"]: {
+                "suite": "extended",
+                **feasibility_cache_stats(extended_outcomes),
+            }
+        },
+        four32_machine.name: {
+            name: {"suite": "paper", **feasibility_cache_stats(outcomes)}
+            for name, outcomes in four32_outcomes.items()
+        },
     }
-    four32 = run_suite(suite, GPScheduler(four_cluster(32)))
-    feasibility[four_cluster(32).name] = {
-        "scheduler": "gp",
-        "suite": "paper",
-        **feasibility_cache_stats(
-            outcome
-            for bench in four32.per_benchmark.values()
-            for outcome in bench.outcomes
-        ),
+    ii_search = {
+        timings["machine"]: {
+            timings["scheduler"]: {
+                "suite": "extended",
+                **ii_search_stats(extended_outcomes),
+            }
+        },
+        four32_machine.name: {
+            name: {"suite": "paper", **ii_search_stats(outcomes)}
+            for name, outcomes in four32_outcomes.items()
+        },
     }
 
     payload = {
-        "schema": "repro-bench/v4",
+        "schema": "repro-bench/v5",
         "table2": {
             config: dict(result.seconds[config]) for config in result.configs
         },
@@ -215,6 +344,7 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
             "jobs": timings["jobs"],
             "cpu_count": os.cpu_count(),
             "oversubscribed": timings["jobs"] > (os.cpu_count() or 1),
+            "skipped": timings["parallel_skipped"],
             "wall_seconds": {
                 f"jobs{jobs}": seconds
                 for jobs, seconds in timings["wall_seconds"].items()
@@ -237,8 +367,13 @@ def test_emit_bench_schedule_json(suite, big_suite, extended_parallel_timings):
             "cached_seconds": structural_cached_seconds,
         },
         "feasibility_cache": feasibility,
+        "ii_search": ii_search,
         "meta": {
             "rounds": _MICRO_ROUNDS,
+            "ab_rounds": {
+                "gp": sum(rounds for _, _, rounds in _GP_AB_BASKET),
+                "uracam": sum(rounds for _, _, rounds in _URACAM_AB_BASKET),
+            },
             "suite_benchmarks": len(suite),
         },
     }

@@ -61,4 +61,8 @@ def test_extended_parallel_wall_clock(
             for jobs, seconds in sorted(timings["wall_seconds"].items())
         ),
     ]
+    if timings["parallel_skipped"]:
+        lines.append(
+            "  pooled leg skipped: single-CPU host (would time contention)"
+        )
     save_artifact(results_dir, "extended_parallel_wall_clock.txt", "\n".join(lines))

@@ -252,18 +252,40 @@ def _cache_stats_line(service) -> str:
     return "  ".join(parts)
 
 
+def _suite_engine_options(args: argparse.Namespace):
+    """EngineOptions for a suite command, or None when all-defaults.
+
+    Folds ``--verify`` (evaluate only) and the ``--no-array-kernels`` /
+    ``--no-warm-start`` A/B knobs into one explicit options object —
+    requests reject ``verify`` and ``options`` together, so the paranoid
+    flags must ride in the same EngineOptions as the kernel toggles.
+    Returns None when nothing deviates from the defaults, keeping
+    default invocations' request fingerprints (and store keys) stable.
+    """
+    from .schedule.engine import EngineOptions
+
+    verify = getattr(args, "verify", False)
+    array_kernels = getattr(args, "array_kernels", True)
+    warm_start = getattr(args, "ii_warm_start", True)
+    if not verify and array_kernels and warm_start:
+        return None
+    return EngineOptions(
+        verify_pressure=verify,
+        validate_schedules=verify,
+        array_kernels=array_kernels,
+        ii_warm_start=warm_start,
+    )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval.export import figure_to_csv, figure_to_json
     from .eval.figures import figure2_panel, figure3_panel
-    from .schedule.engine import EngineOptions
 
     suite = _pick_suite(args)
-    options = None
-    if args.verify:
-        # Paranoid end-to-end mode: incremental-vs-reference pressure
-        # cross-checks inside the engine, plus a full_recheck validation
-        # of every schedule before it is reported.
-        options = EngineOptions(verify_pressure=True, validate_schedules=True)
+    # --verify is the paranoid end-to-end mode: incremental-vs-reference
+    # pressure cross-checks inside the engine, plus a full_recheck
+    # validation of every schedule before it is reported.
+    options = _suite_engine_options(args)
     with _service_for(args) as service:
         if args.bus_latency == 2:
             panel = figure3_panel(
@@ -311,6 +333,10 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Rows kept by ``bench --profile`` (stderr table and the JSON block).
+_PROFILE_TOP = 25
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as _json
     import os
@@ -319,6 +345,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .eval.figures import table2
 
     suite = _pick_suite(args)
+    options = _suite_engine_options(args)
+    if args.profile and args.jobs != 1:
+        # cProfile only sees the driving process; worker-pool scheduling
+        # would profile IPC plumbing instead of the schedulers.
+        print(
+            f"warning: --profile forces --jobs 1 (was {args.jobs})",
+            file=sys.stderr,
+        )
+        args.jobs = 1
     with _service_for(args) as service:
         machine = service.resolve_machine(args.machine)
         jobs = service.jobs
@@ -334,9 +369,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "wall clock measures contention, not speedup",
                 file=sys.stderr,
             )
+        profile_block = None
         started = _time.perf_counter()
-        result = table2(suite, [machine], service=service)
-        wall_seconds = _time.perf_counter() - started
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result = table2(suite, [machine], service=service, options=options)
+            profiler.disable()
+            wall_seconds = _time.perf_counter() - started
+            stats = pstats.Stats(profiler)
+            rendered = io.StringIO()
+            pstats.Stats(profiler, stream=rendered).sort_stats(
+                "cumulative"
+            ).print_stats(_PROFILE_TOP)
+            print(rendered.getvalue(), file=sys.stderr, end="")
+            entries = [
+                {
+                    "function": f"{path}:{line}({name})",
+                    "ncalls": ncalls,
+                    "tottime": tottime,
+                    "cumtime": cumtime,
+                }
+                for (path, line, name), (
+                    _cc, ncalls, tottime, cumtime, _callers,
+                ) in stats.stats.items()
+            ]
+            entries.sort(key=lambda entry: entry["cumtime"], reverse=True)
+            profile_block = {
+                "sorted_by": "cumulative",
+                "top": entries[:_PROFILE_TOP],
+            }
+        else:
+            result = table2(suite, [machine], service=service, options=options)
+            wall_seconds = _time.perf_counter() - started
         stats_line = (
             _cache_stats_line(service) if (args.store or args.daemon) else None
         )
@@ -353,7 +422,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"suite wall clock: {wall_seconds:.2f}s (jobs={jobs})")
     if args.json:
         payload = {
-            "schema": "repro-bench-cli/v3",
+            "schema": "repro-bench-cli/v4",
             "machine": config,
             "suite": args.suite,
             "benchmarks": len(suite),
@@ -361,12 +430,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "jobs": jobs,
             "cpu_count": os.cpu_count(),
             "oversubscribed": oversubscribed,
+            "engine_options": {
+                "array_kernels": getattr(args, "array_kernels", True),
+                "ii_warm_start": getattr(args, "ii_warm_start", True),
+            },
             "cpu_seconds_per_benchmark": dict(per),
             "wall_seconds": wall_seconds,
             # What the fault-tolerance layer had to do during the run
             # (all zeros on a healthy host: no retries, no rebuilds).
             "fault_tolerance": service.telemetry.to_dict(),
         }
+        if profile_block is not None:
+            payload["profile"] = profile_block
         with open(args.json, "w") as handle:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -555,6 +630,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="daemon endpoint: a unix socket path or "
                        "tcp:PORT (default: the per-user socket, "
                        "$REPRO_DAEMON_SOCKET)")
+        p.add_argument("--no-array-kernels", dest="array_kernels",
+                       action="store_false",
+                       help="force the pure dict/list reference hot path "
+                       "instead of the flat-array kernels (results are "
+                       "bit-identical under either; A/B smoke knob)")
+        p.add_argument("--no-warm-start", dest="ii_warm_start",
+                       action="store_false",
+                       help="disable II-search warm-start seeding "
+                       "(results are bit-identical under either)")
 
     p_eval = sub.add_parser("evaluate", help="run a figure panel")
     p_eval.add_argument("--clusters", type=int, default=2, choices=(2, 4))
@@ -587,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_suite_options(p_bench)
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the timings as JSON (CI artifact)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="run the Table 2 loops under cProfile "
+                         "(forces --jobs 1); prints the top cumulative "
+                         "entries to stderr and adds a 'profile' block "
+                         "to --json")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_serve = sub.add_parser(

@@ -278,6 +278,7 @@ def table2(
     chunksize: Optional[int] = None,
     pool=None,
     service=None,
+    options=None,
 ) -> Table2Result:
     """Regenerate Table 2: scheduling CPU time per algorithm.
 
@@ -301,7 +302,12 @@ def table2(
             four_cluster(64),
         ]
     requests = [
-        EvaluationRequest(scheduler=name, machine=machine, suite=tuple(suite))
+        EvaluationRequest(
+            scheduler=name,
+            machine=machine,
+            suite=tuple(suite),
+            options=options,
+        )
         for machine in machines
         for name in ("uracam", "fixed-partition", "gp")
     ]

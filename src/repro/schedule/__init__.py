@@ -1,6 +1,7 @@
 """Modulo scheduling: engine, policies, drivers, fallback, validation."""
 
 from .analysis_core import ScheduleAnalysis
+from .arraykernels import ArrayReservationTable, ArrayScheduleAnalysis
 from .expand import ExpandedSchedule, expand, render_kernel
 from .drivers import (
     SCHEDULERS,
@@ -18,6 +19,7 @@ from .engine import (
     ClusterPolicy,
     EngineOptions,
     FixedClusterPolicy,
+    IISearchState,
     SchedulingEngine,
 )
 from .lifetimes import LiveSegment, max_live, pressure_by_cycle, register_cycles
@@ -33,6 +35,8 @@ from .values import BusTransfer, Use, ValueState, segments_of_value, value_segme
 
 __all__ = [
     "AllClustersPolicy",
+    "ArrayReservationTable",
+    "ArrayScheduleAnalysis",
     "AssignedFirstPolicy",
     "AuxOp",
     "BaseScheduler",
@@ -47,6 +51,7 @@ __all__ = [
     "FixedPartitionScheduler",
     "FUSlot",
     "GPScheduler",
+    "IISearchState",
     "ListSchedule",
     "LiveSegment",
     "MeritVector",

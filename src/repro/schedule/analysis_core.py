@@ -76,8 +76,7 @@ class ScheduleAnalysis:
     ) -> None:
         self.ii = ii
         self.num_clusters = num_clusters
-        #: counts[cluster][m] — live values at kernel cycle ``m``.
-        self.counts: List[List[int]] = [[0] * ii for _ in range(num_clusters)]
+        self._init_rings()
         #: Running register-cycle totals per cluster.
         self.reg_cycles: List[int] = [0] * num_clusters
         # producer uid -> the segment list currently folded into the rings.
@@ -100,6 +99,18 @@ class ScheduleAnalysis:
     ) -> "ScheduleAnalysis":
         """Build a session from a raw value ledger (the reference path)."""
         return cls(ii, num_clusters, values=dict(values))
+
+    def _init_rings(self) -> None:
+        """Allocate the pressure-ring storage.
+
+        Split out of ``__init__`` so a subclass with a different ring
+        layout (the flat-array kernels) can swap the storage without
+        touching the ledger bookkeeping.
+        """
+        #: counts[cluster][m] — live values at kernel cycle ``m``.
+        self.counts: List[List[int]] = [
+            [0] * self.ii for _ in range(self.num_clusters)
+        ]
 
     # ------------------------------------------------------------------
     # Ring arithmetic

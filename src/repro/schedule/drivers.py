@@ -36,6 +36,7 @@ from .engine import (
     ClusterPolicy,
     EngineOptions,
     FixedClusterPolicy,
+    IISearchState,
     SchedulingEngine,
 )
 from .listsched import ListSchedule, list_schedule
@@ -105,19 +106,28 @@ class BaseScheduler:
         step = 1
         consecutive_failures = 0
         feas_hits = feas_scans = 0
+        warm_seeded = warm_hits = 0
+        ii_trace = []
+        search = IISearchState() if self.options.ii_warm_start else None
         while ii <= start_ii + self.max_ii_span:
             policy = self._policy(loop, ii)
             engine = SchedulingEngine(
-                loop, self.machine, ii, policy, self._engine_options(loop)
+                loop, self.machine, ii, policy, self._engine_options(loop),
+                search=search,
             )
             attempts += 1
+            ii_trace.append(ii)
             found = engine.attempt()
             # Candidate-feasibility cache telemetry survives failed
             # attempts (where most of the spill-round rescanning happens).
             feas_hits += engine.stats.feas_cache_hits
             feas_scans += engine.stats.feas_cache_scans
+            warm_seeded += engine.stats.warm_start_seeded
+            warm_hits += engine.stats.warm_start_hits
             if found is not None:
                 break
+            if search is not None:
+                search.absorb(engine)
             # Escalate geometrically on stubborn loops: after every three
             # consecutive failures the II step doubles (1,1,2,2,2,4,...),
             # keeping pathological register-bound loops from costing dozens
@@ -137,6 +147,9 @@ class BaseScheduler:
             )
             found.stats.feas_cache_hits = feas_hits
             found.stats.feas_cache_scans = feas_scans
+            found.stats.ii_trace = tuple(ii_trace)
+            found.stats.warm_start_seeded = warm_seeded
+            found.stats.warm_start_hits = warm_hits
             if self.options.validate_schedules:
                 # Paranoid end-to-end mode (CLI --verify): rebuild the
                 # lifetime analysis from the raw ledger and cross-check it
@@ -203,9 +216,12 @@ class FixedPartitionScheduler(BaseScheduler):
         self.partitioner = partitioner or MultilevelPartitioner(machine)
         self.partition: Optional[Partition] = None
         self._partitions_computed = 0
+        # (partition, EngineOptions) pair; see _engine_options.
+        self._options_cache = None
 
     def _prepare(self, loop: Loop, start_ii: int) -> None:
         self._partitions_computed = 0
+        self._options_cache = None
         self.partition = self._compute_partition(loop, start_ii)
 
     def _compute_partition(self, loop: Loop, ii: int) -> Partition:
@@ -220,10 +236,19 @@ class FixedPartitionScheduler(BaseScheduler):
 
     def _engine_options(self, loop: Loop) -> EngineOptions:
         assert self.partition is not None
-        return replace(
+        # The per-cluster memory-op counts are a pure function of the
+        # partition, which only changes when a recompute is adopted — cache
+        # them by partition identity so the II search stops re-scanning the
+        # loop's operations on every attempt.
+        cached = self._options_cache
+        if cached is not None and cached[0] is self.partition:
+            return cached[1]
+        options = replace(
             self.options,
             mem_ops_per_cluster=_mem_ops_per_cluster(loop, self.partition),
         )
+        self._options_cache = (self.partition, options)
+        return options
 
 
 class GPScheduler(FixedPartitionScheduler):

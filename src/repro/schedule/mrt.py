@@ -68,6 +68,17 @@ class ReservationTable:
             key: [cap] + [0] * ii for key, cap in self._capacity.items()
         }
 
+    # -- overlay key construction ------------------------------------------
+    # Overlays stage reservations in dicts keyed by whatever the table
+    # hands out here, so a subclass with a different storage layout (the
+    # flat-array kernels key by integer index) changes the key shape in
+    # one place and every overlay probe follows.
+    def _fu_key(self, cluster: int, op_class: OpClass, m: int):
+        return (cluster, op_class, m)
+
+    def _bus_key(self, bus: int, cycle: int):
+        return (bus, cycle)
+
     # -- functional units ------------------------------------------------
     def fu_capacity(self, cluster: int, op_class: OpClass) -> int:
         try:
@@ -242,31 +253,38 @@ class Overlay:
 
     def __init__(self, table: ReservationTable) -> None:
         self.table = table
-        self._fu: Dict[Tuple[int, OpClass, int], int] = {}
-        self._bus: Dict[Tuple[int, int], bool] = {}
+        # Keys are whatever ``table._fu_key``/``table._bus_key`` construct:
+        # tuples for the reference table, flat integer indexes for the
+        # array-kernel table.
+        self._fu: Dict[object, int] = {}
+        self._bus: Dict[object, bool] = {}
         self.fu_slots: List[FUSlot] = []
         self.bus_slots: List[BusSlot] = []
 
-    def fu_pending(self, key: Tuple[int, OpClass, int]) -> int:
+    def fu_pending(self, key) -> int:
+        """Pending issue count for a table-constructed FU key."""
         return self._fu.get(key, 0)
 
-    def bus_pending(self, key: Tuple[int, int]) -> bool:
+    def bus_pending(self, key) -> bool:
+        """True if a table-constructed bus key is staged here."""
         return self._bus.get(key, False)
 
     def add_fu(self, slot: FUSlot) -> None:
-        key = (slot.cluster, slot.op_class, slot.cycle % self.table.ii)
+        table = self.table
+        key = table._fu_key(slot.cluster, slot.op_class, slot.cycle % table.ii)
         self._fu[key] = self._fu.get(key, 0) + 1
         self.fu_slots.append(slot)
 
     def add_bus(self, slot: BusSlot) -> None:
-        cycles = self.table.bus_cycles(slot)
+        table = self.table
+        cycles = table.bus_cycles(slot)
         if cycles is None:
             # A self-overlapping transfer can never be reserved; staging it
             # anyway would make a later commit() blow up mid-way, after some
             # reservations already landed in the table.
             raise ValueError("cannot stage a self-overlapping bus transfer")
         for cycle in cycles:
-            self._bus[(slot.bus, cycle)] = True
+            self._bus[table._bus_key(slot.bus, cycle)] = True
         self.bus_slots.append(slot)
 
     def commit(self) -> None:

@@ -123,10 +123,14 @@ class TestCommands:
         )
         assert code == 0
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-cli/v3"
+        assert payload["schema"] == "repro-bench-cli/v4"
         assert payload["suite"] == "paper"
         assert payload["jobs"] == 1
         assert payload["oversubscribed"] is False
+        assert payload["engine_options"] == {
+            "array_kernels": True, "ii_warm_start": True,
+        }
+        assert "profile" not in payload
         assert payload["wall_seconds"] > 0
         assert set(payload["cpu_seconds_per_benchmark"]) == {
             "uracam", "fixed-partition", "gp"
@@ -136,6 +140,40 @@ class TestCommands:
         assert fault["retries"] == 0
         assert fault["rebuilds"] == 0
         assert fault["failed_loops"] == 0
+
+    def test_bench_profile_block(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--machine", "2x32", "--programs", "1",
+             "--profile", "--jobs", "2", "--json", str(path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # --profile forces sequential scheduling and prints the pstats
+        # table to stderr, keeping stdout's rendered table unchanged.
+        assert "--profile forces --jobs 1" in captured.err
+        assert "cumulative" in captured.err
+        payload = json.loads(path.read_text())
+        assert payload["jobs"] == 1
+        profile = payload["profile"]
+        assert profile["sorted_by"] == "cumulative"
+        assert 0 < len(profile["top"]) <= 25
+        top = profile["top"][0]
+        assert set(top) == {"function", "ncalls", "tottime", "cumtime"}
+        # The profile is sorted by cumulative time, schedulers on top.
+        cumtimes = [entry["cumtime"] for entry in profile["top"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_evaluate_no_array_kernels_matches_default(self, capsys):
+        argv = ["evaluate", "--programs", "1", "--format", "csv"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--no-array-kernels"]) == 0
+        assert capsys.readouterr().out == default
+        assert main(argv + ["--no-warm-start"]) == 0
+        assert capsys.readouterr().out == default
+        assert main(argv + ["--no-array-kernels", "--no-warm-start"]) == 0
+        assert capsys.readouterr().out == default
 
     def test_bench_warns_when_jobs_oversubscribe_host(self, tmp_path, capsys):
         import os

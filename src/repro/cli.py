@@ -211,6 +211,13 @@ def _service_for(args: argparse.Namespace):
                 "--fault-plan injects faults into an in-process session; "
                 "drop --daemon to use it"
             )
+        from .service import WireFaultPlan, WireRetryPolicy
+
+        chaos = (
+            WireFaultPlan.load(args.wire_fault_plan)
+            if getattr(args, "wire_fault_plan", None)
+            else None
+        )
         return ServiceClient(
             endpoint=args.socket,
             keep_going=getattr(args, "keep_going", False),
@@ -218,6 +225,9 @@ def _service_for(args: argparse.Namespace):
             chunksize=args.chunksize,
             mp_context=args.mp_context,
             store=args.store,
+            retry=WireRetryPolicy(max_attempts=args.wire_retries),
+            call_deadline=getattr(args, "call_deadline", None),
+            chaos=chaos,
         )
     return ReproService(
         jobs=args.jobs,
@@ -240,14 +250,25 @@ def _cache_stats_line(service) -> str:
     store = getattr(service, "store", None)
     if store is not None:
         stats = store.stats()
-    elif hasattr(service, "stats"):
-        stats = service.stats().get("store")
+    elif hasattr(service, "stats") and not getattr(service, "degraded", False):
+        try:
+            stats = service.stats().get("store")
+        except ReproError:
+            # The daemon died after serving us (or the wire is still
+            # faulty): the counters line is telemetry, never a failure.
+            stats = None
     else:
         stats = None
     if stats:
         parts.append(
             "store: backend={backend} entries={entries} bytes={bytes} "
             "hits={hits} misses={misses} evictions={evictions}".format(**stats)
+        )
+    wire = getattr(service, "wire", None)
+    if wire is not None:
+        parts.append(
+            f"wire: attempts={wire.attempts} retries={wire.retries} "
+            f"reconnects={wire.reconnects} degraded={wire.degraded_calls}"
         )
     return "  ".join(parts)
 
@@ -422,7 +443,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"suite wall clock: {wall_seconds:.2f}s (jobs={jobs})")
     if args.json:
         payload = {
-            "schema": "repro-bench-cli/v4",
+            "schema": "repro-bench-cli/v5",
             "machine": config,
             "suite": args.suite,
             "benchmarks": len(suite),
@@ -439,6 +460,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # What the fault-tolerance layer had to do during the run
             # (all zeros on a healthy host: no retries, no rebuilds).
             "fault_tolerance": service.telemetry.to_dict(),
+            # Transport counters when the run went over the daemon wire
+            # (retries/reconnects/degradations); null on local runs.
+            "wire": (
+                service.wire_stats()
+                if hasattr(service, "wire_stats")
+                else None
+            ),
         }
         if profile_block is not None:
             payload["profile"] = profile_block
@@ -451,47 +479,130 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    """``repro serve --status``: render the daemon's health, with exit
+    codes pipelines can branch on (0 running, 4 draining, 3 absent)."""
+    from .errors import DaemonError
+    from .service import ServiceClient, WireRetryPolicy
+
+    client = ServiceClient(
+        endpoint=args.socket, autospawn=False, retry=WireRetryPolicy.none()
+    )
+    try:
+        stats = client.stats()
+    except DaemonError:
+        print("no daemon running", file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+    server = stats["server"]
+    draining = bool(server.get("draining"))
+    print(f"state:       {'draining' if draining else 'running'}")
+    print(f"pid:         {server.get('pid')}")
+    print(f"endpoint:    {server.get('endpoint')}")
+    print(f"version:     {server.get('version')} ({server.get('schema')})")
+    print(f"uptime:      {server.get('uptime_seconds', 0.0):.1f}s")
+    print(f"jobs:        {server.get('jobs')}")
+    print(
+        f"connections: {server.get('active_connections')} active "
+        f"(max {server.get('max_clients')}), "
+        f"{server.get('in_flight')} request(s) in flight"
+    )
+    wire = stats.get("wire") or {}
+    if wire:
+        print(
+            "wire:        "
+            f"connections={wire.get('connections')} "
+            f"busy_rejected={wire.get('busy_rejected')} "
+            f"coalesced={wire.get('coalesced')} "
+            f"read_timeouts={wire.get('read_timeouts')} "
+            f"deadline_misses={wire.get('deadline_misses')} "
+            f"requests={wire.get('requests_served')}"
+        )
+    cache = stats.get("cache") or {}
+    print(
+        f"cache:       hits={cache.get('hits')} misses={cache.get('misses')}"
+    )
+    store = stats.get("store")
+    if store:
+        print(
+            "store:       backend={backend} entries={entries} bytes={bytes} "
+            "hits={hits} misses={misses} evictions={evictions} "
+            "write_errors={write_errors} quarantined={quarantined}".format(
+                **store
+            )
+        )
+    return 4 if draining else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import os
 
     from .errors import DaemonError
     from .service.daemon import DEFAULT_IDLE_TIMEOUT, ReproDaemon, parse_endpoint
 
+    if args.status:
+        return _cmd_serve_status(args)
     if args.stop:
+        from .service import WireRetryPolicy
         from .service.client import ServiceClient
 
-        client = ServiceClient(endpoint=args.socket, autospawn=False)
+        client = ServiceClient(
+            endpoint=args.socket, autospawn=False, retry=WireRetryPolicy.none()
+        )
         try:
             client.connect()
         except DaemonError:
             print("no daemon running", file=sys.stderr)
             return 0
         pid = client.server.get("pid")
+        already_draining = bool(client.server.get("draining"))
         client.shutdown_server()
-        print(f"daemon stopped (pid {pid})", file=sys.stderr)
+        if already_draining:
+            print(f"daemon already draining (pid {pid})", file=sys.stderr)
+        else:
+            print(f"daemon stopped (pid {pid})", file=sys.stderr)
         return 0
     idle_timeout = args.idle_timeout
     if idle_timeout is None:
         idle_timeout = DEFAULT_IDLE_TIMEOUT
     elif idle_timeout <= 0:
         idle_timeout = None  # 0 = serve until stopped
+    store = args.store
+    if args.store_fsync and store is not None:
+        from .service.store import open_store
+
+        store = open_store(store, fsync=True)
+    chaos = None
+    if args.wire_fault_plan:
+        from .service import WireFaultPlan
+
+        chaos = WireFaultPlan.load(args.wire_fault_plan)
     daemon = ReproDaemon(
         endpoint=args.socket,
         jobs=args.jobs,
         chunksize=args.chunksize,
         mp_context=args.mp_context,
-        store=args.store,
+        store=store,
         idle_timeout=idle_timeout,
         policy=RetryPolicy(
             max_attempts=args.max_attempts, deadline=args.deadline
         ),
+        max_clients=args.max_clients,
+        drain_timeout=args.drain_timeout,
+        io_timeout=args.io_timeout if args.io_timeout > 0 else None,
+        chaos=chaos,
+        # A real daemon process may honour an injected crash fault; an
+        # in-thread daemon (tests) never does.
+        allow_crash=chaos is not None,
     )
     family, address = parse_endpoint(args.socket)
     endpoint = address if family == "unix" else f"tcp:{address[0]}:{address[1]}"
     timeout_note = "none" if idle_timeout is None else f"{idle_timeout:g}s"
     print(
         f"repro daemon serving on {endpoint} "
-        f"(pid {os.getpid()}, idle timeout {timeout_note})",
+        f"(pid {os.getpid()}, idle timeout {timeout_note}, "
+        f"max {args.max_clients} clients)",
         file=sys.stderr,
     )
     daemon.serve_forever()
@@ -630,6 +741,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="daemon endpoint: a unix socket path or "
                        "tcp:PORT (default: the per-user socket, "
                        "$REPRO_DAEMON_SOCKET)")
+        p.add_argument("--wire-retries", type=int, default=3,
+                       metavar="N",
+                       help="with --daemon: attempts per wire operation "
+                       "before degrading to in-process execution "
+                       "(retried faults are safe — every op is "
+                       "idempotent by content fingerprint)")
+        p.add_argument("--call-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --daemon: per-request deadline carried "
+                       "on the wire; the daemon answers a structured "
+                       "timeout instead of a late result")
+        p.add_argument("--wire-fault-plan", default=None, metavar="PATH",
+                       help="with --daemon (testing/CI only): JSON "
+                       "wire-fault plan injected at this client's end "
+                       "(refused connects, dropped/garbled replies, "
+                       "stalls) to exercise the wire retry layer")
         p.add_argument("--no-array-kernels", dest="array_kernels",
                        action="store_false",
                        help="force the pure dict/list reference hot path "
@@ -707,9 +834,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--deadline", type=float, default=None,
                          metavar="SECONDS",
                          help="per-chunk wall-clock deadline")
+    p_serve.add_argument("--max-clients", type=int, default=8,
+                         metavar="N",
+                         help="concurrent connections served before "
+                         "excess connects get a structured busy reply "
+                         "(default 8)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="on shutdown/SIGTERM: how long to wait "
+                         "for in-flight requests before closing "
+                         "(default 30)")
+    p_serve.add_argument("--io-timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="per-connection socket read/write timeout "
+                         "(default 300; 0 = none)")
+    p_serve.add_argument("--store-fsync", action="store_true",
+                         help="fsync store writes (crash-durable puts "
+                         "at the cost of two fsyncs per entry)")
+    p_serve.add_argument("--wire-fault-plan", default=None, metavar="PATH",
+                         help="testing/CI only: JSON wire-fault plan "
+                         "injected at the daemon end (dropped/garbled "
+                         "replies, stalls, accept-then-close, a planned "
+                         "crash mid-request)")
     p_serve.add_argument("--stop", action="store_true",
-                         help="ask the running daemon to shut down "
-                         "instead of serving")
+                         help="ask the running daemon to drain and shut "
+                         "down instead of serving")
+    p_serve.add_argument("--status", action="store_true",
+                         help="report a running daemon's health (exit "
+                         "0 running, 4 draining, 3 absent) instead of "
+                         "serving")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser(

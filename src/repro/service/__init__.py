@@ -37,19 +37,34 @@ The CLI, the figure harness and the benchmarks are all thin request
 builders over this package; see ``examples/service_quickstart.py``.
 """
 
-from ..errors import CodecError, DaemonError, StoreError
+from ..errors import (
+    CodecError,
+    DaemonBusyError,
+    DaemonDrainingError,
+    DaemonError,
+    StoreError,
+    WireTimeoutError,
+)
 from ..eval.faults import Fault, FaultPlan
 from ..eval.retry import (
     ExecutionTelemetry,
     FailureReport,
     LoopFailure,
     RetryPolicy,
+    WireCounters,
+    WireRetryPolicy,
+    WireTelemetry,
 )
+from .chaos import WIRE_FAULT_KINDS, WIRE_FAULT_SITES, WireFault, WireFaultPlan
 from .client import ClientHandle, ServiceClient
 from .codec import CODEC_SCHEMA, dumps_response, loads_response
 from .daemon import (
+    DEFAULT_DRAIN_TIMEOUT,
     DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_IO_TIMEOUT,
+    DEFAULT_MAX_CLIENTS,
     WIRE_SCHEMA,
+    WIRE_SCHEMAS,
     ReproDaemon,
     default_socket_path,
     spawn_daemon,
@@ -81,7 +96,12 @@ __all__ = [
     "CODEC_SCHEMA",
     "ClientHandle",
     "CodecError",
+    "DEFAULT_DRAIN_TIMEOUT",
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_IO_TIMEOUT",
+    "DEFAULT_MAX_CLIENTS",
+    "DaemonBusyError",
+    "DaemonDrainingError",
     "DaemonError",
     "DiskStore",
     "EvaluationRequest",
@@ -110,7 +130,16 @@ __all__ = [
     "ServiceClient",
     "StoreError",
     "StoreTelemetry",
+    "WIRE_FAULT_KINDS",
+    "WIRE_FAULT_SITES",
     "WIRE_SCHEMA",
+    "WIRE_SCHEMAS",
+    "WireCounters",
+    "WireFault",
+    "WireFaultPlan",
+    "WireRetryPolicy",
+    "WireTelemetry",
+    "WireTimeoutError",
     "default_socket_path",
     "default_store_root",
     "dumps_response",

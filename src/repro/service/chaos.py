@@ -1,0 +1,224 @@
+"""Deterministic wire-fault injection for the daemon transport.
+
+The transport sibling of :mod:`repro.eval.faults`: a
+:class:`WireFaultPlan` names exactly which wire exchanges misbehave and
+how, so the client's retry/degradation machinery and the daemon's
+serving robustness are exercised *on purpose* and reproducibly instead
+of waiting for real network weather.
+
+Faults are keyed by **site** and a monotonically increasing per-site
+**index**:
+
+* ``"client"`` — the client's exchange counter: every request/reply
+  round-trip :class:`~repro.service.client.ServiceClient` performs
+  (including the ``ping`` that validates a fresh connection) consumes
+  one index, retries included.  A fault at index *i* hits exactly the
+  *i*-th exchange; the retry that follows runs at a later index and —
+  unless the plan says otherwise — succeeds, which is how a single
+  planned fault models a transient that clears on retry.
+* ``"daemon"`` — the daemon's reply counter: every reply it writes
+  consumes one index.
+* ``"accept"`` — the daemon's connection counter: every accepted
+  connection consumes one index (the accept-then-close fault class).
+
+Fault kinds (not every kind is meaningful at every site):
+
+=============  =======================================================
+``refuse``     client: the exchange fails as a refused connect
+``close``      accept: the daemon closes the connection immediately
+               after accepting it, before reading anything
+``disconnect`` daemon: the connection drops before any reply bytes;
+               client: the connection drops right after the request
+               was sent (the mid-message disconnect class — the
+               request's completion state is unknown)
+``truncate``   the reply line is cut mid-JSON with no newline
+``corrupt``    the reply line is garbled (parse fails, length intact)
+``stall``      daemon: the reply is delayed ``stall_seconds`` (bounded;
+               trips the client's call timeout when that is shorter);
+               client: the exchange is slowed by ``stall_seconds``
+               before the reply is read (a slow but healthy wire)
+``crash``      daemon: the process dies mid-request via ``os._exit``
+               (only honoured when the daemon runs as a real process —
+               ``repro serve --wire-fault-plan``; in-thread test
+               daemons ignore it rather than kill the test run)
+=============  =======================================================
+
+Because indices only ever increase, a fired fault can never re-fire:
+determinism needs no cross-process state.  A daemon that crashes and is
+respawned by the client starts a *fresh* process without the plan, so
+the respawn recovers cleanly — exactly the production shape (the chaos
+is in the old process, not the new one).
+
+Plans serialize to JSON for the CLI (``evaluate --daemon
+--wire-fault-plan`` injects the client sites, ``serve
+--wire-fault-plan`` the daemon/accept sites; one file can carry both)
+and generate deterministically from a seed via
+:meth:`WireFaultPlan.from_seed`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+#: Accepted wire-fault kinds.
+WIRE_FAULT_KINDS = (
+    "refuse",
+    "close",
+    "disconnect",
+    "truncate",
+    "corrupt",
+    "stall",
+    "crash",
+)
+
+#: Accepted injection sites.
+WIRE_FAULT_SITES = ("client", "daemon", "accept")
+
+#: Exit code an injected daemon crash dies with (recognizable in logs).
+WIRE_CRASH_EXIT_CODE = 14
+
+
+@dataclass(frozen=True)
+class WireFault:
+    """One injected wire misbehaviour at a (site, index) position."""
+
+    site: str
+    index: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.site not in WIRE_FAULT_SITES:
+            raise ReproError(
+                f"wire fault site must be one of {WIRE_FAULT_SITES}, "
+                f"got {self.site!r}"
+            )
+        if self.kind not in WIRE_FAULT_KINDS:
+            raise ReproError(
+                f"wire fault kind must be one of {WIRE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.index < 0:
+            raise ReproError(f"wire fault index must be >= 0, got {self.index}")
+
+
+@dataclass(frozen=True)
+class WireFaultPlan:
+    """A picklable, JSON-serializable set of injected wire faults."""
+
+    faults: Tuple[WireFault, ...] = ()
+    #: How long a ``"stall"`` fault delays its exchange.  Deliberately
+    #: finite and small-ish: a stalled reply must eventually complete
+    #: (or trip the client's call timeout) rather than wedge a test run.
+    stall_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.stall_seconds <= 0:
+            raise ReproError(
+                f"stall_seconds must be positive, got {self.stall_seconds}"
+            )
+
+    def fault_for(self, site: str, index: int) -> Optional[str]:
+        """The fault kind planned at this (site, index), or ``None``."""
+        for fault in self.faults:
+            if fault.site == site and fault.index == index:
+                return fault.kind
+        return None
+
+    def sites(self) -> Tuple[str, ...]:
+        """The distinct sites this plan injects at (for CLI sanity checks)."""
+        return tuple(sorted({fault.site for fault in self.faults}))
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        kinds: Sequence[str] = ("disconnect",),
+        count: int = 3,
+        site: str = "client",
+        span: int = 24,
+        stall_seconds: float = 5.0,
+    ) -> "WireFaultPlan":
+        """A deterministic plan of ``count`` faults at one site.
+
+        The victim indices are drawn without replacement from
+        ``range(span)`` by ``random.Random(seed)`` and the kinds cycle
+        through ``kinds`` — the same seed always yields the same plan.
+        ``span`` should comfortably cover the exchanges the workload
+        will perform (retries push later exchanges to higher indices,
+        so a plan denser than the retry budget can still be survived).
+        """
+        if site not in WIRE_FAULT_SITES:
+            raise ReproError(
+                f"wire fault site must be one of {WIRE_FAULT_SITES}, got {site!r}"
+            )
+        if count < 1 or span < count:
+            raise ReproError(
+                f"need 1 <= count <= span, got count={count} span={span}"
+            )
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(span), count))
+        faults = tuple(
+            WireFault(site=site, index=index, kind=kinds[i % len(kinds)])
+            for i, index in enumerate(indices)
+        )
+        return cls(faults=faults, stall_seconds=stall_seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-wire-fault-plan/v1",
+            "stall_seconds": self.stall_seconds,
+            "faults": [
+                {"site": fault.site, "index": fault.index, "kind": fault.kind}
+                for fault in self.faults
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WireFaultPlan":
+        try:
+            faults = tuple(
+                WireFault(
+                    site=entry["site"],
+                    index=entry["index"],
+                    kind=entry["kind"],
+                )
+                for entry in payload["faults"]
+            )
+        except (KeyError, TypeError) as error:
+            raise ReproError(f"malformed wire fault plan: {error}") from error
+        return cls(
+            faults=faults,
+            stall_seconds=payload.get("stall_seconds", 5.0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WireFaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"wire fault plan is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "WireFaultPlan":
+        try:
+            with open(path) as handle:
+                return cls.from_json(handle.read())
+        except OSError as error:
+            raise ReproError(
+                f"cannot read wire fault plan {path!r}: {error}"
+            ) from error

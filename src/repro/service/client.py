@@ -17,11 +17,23 @@ and the benchmarks run against either transport unchanged::
 Connection policy: connect to the rendezvous socket; on failure (no
 daemon, stale socket) **auto-spawn** ``repro serve`` detached and wait
 for it — unless ``autospawn=False``, in which case the failure surfaces
-as :class:`~repro.errors.DaemonError`.  A connection dropped *between*
-calls (the daemon idled out) is re-established transparently, including
-a respawn; a connection dropped *mid-call* is an error (the work's
-completion state is unknown and requests are not assumed idempotent
-against a half-dead server).
+as :class:`~repro.errors.DaemonError`.
+
+Wire faults are retried under a
+:class:`~repro.eval.retry.WireRetryPolicy` — the transport sibling of
+the process-pool retry layer, sharing its deterministic-jitter backoff.
+Every daemon operation is **idempotent by content fingerprint**, so a
+refused connect, reset/truncated/corrupted exchange, timed-out call, or
+structured ``busy``/``draining``/wire-timeout reply is always safe to
+retry on a fresh connection (respawning the daemon if it died).
+Deterministic errors the daemon reports (bad request, scheduling
+failure) are raised immediately — retrying cannot change them.  When
+the retry budget runs out, **work operations degrade to an in-process
+:class:`~repro.service.session.ReproService`** (mirroring the pool's
+degrade-to-sequential posture): slower, but bit-identical results.
+Each response's :class:`~repro.service.responses.ResponseMeta` carries
+the per-call :class:`~repro.eval.retry.WireTelemetry`; session totals
+accumulate on :attr:`ServiceClient.wire`.
 
 Responses cross the wire through :mod:`repro.service.codec`, so result
 payloads client-side are the decoded metric surface (``Stored*``
@@ -32,13 +44,28 @@ live schedule objects; use a local :class:`ReproService` when you need
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
+import time
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-from ..errors import DaemonError
-from ..eval.retry import FailureReport, RunTelemetry
+from ..errors import (
+    DaemonBusyError,
+    DaemonDrainingError,
+    DaemonError,
+    WireTimeoutError,
+)
+from ..eval.retry import (
+    FailureReport,
+    RunTelemetry,
+    WireCounters,
+    WireRetryPolicy,
+    WireTelemetry,
+)
 from ..machine.config import MachineConfig
+from .chaos import WireFaultPlan
 from .codec import decode_response, encode_request
 from .daemon import (
     DEFAULT_SPAWN_TIMEOUT,
@@ -50,6 +77,27 @@ from .daemon import (
 from .registry import MACHINES, MachineRegistry
 from .requests import EvaluationRequest, MachineLike, ScheduleRequest
 from .responses import EvaluationResponse, ScheduleResponse
+
+#: Ops that do scheduling work (carry the per-request deadline and are
+#: eligible for degraded in-process execution).
+_WORK_OPS = ("schedule", "evaluate")
+
+#: Structured reply error types the daemon uses as backpressure / flow
+#: signals — transient by construction, so the client retries them.
+_TRANSIENT_REPLY_TYPES = {
+    "DaemonBusyError": DaemonBusyError,
+    "DaemonDrainingError": DaemonDrainingError,
+    "WireTimeoutError": WireTimeoutError,
+}
+
+
+class _WireFaultRetryable(DaemonError):
+    """Internal: a transient wire fault (reset/EOF/garbled reply)."""
+
+
+class _WireBudgetExhausted(DaemonError):
+    """Internal: the wire retry budget ran out (degradation decision
+    point for work ops; terminal for control ops)."""
 
 
 class ClientHandle:
@@ -82,6 +130,14 @@ class ServiceClient:
     keeps its own configuration.  ``keep_going`` travels per call on the
     wire.  ``machines`` only affects local :meth:`resolve_machine`
     lookups (requests carry their machine by value or preset name).
+
+    ``retry`` is the :class:`~repro.eval.retry.WireRetryPolicy`
+    (default: 3 attempts, exponential backoff, degrade to in-process
+    after the budget); ``call_deadline`` travels on every work request
+    as the wire/2 ``deadline`` field — the daemon answers a structured
+    timeout instead of a late result once it expires.  ``chaos`` takes a
+    :class:`~repro.service.chaos.WireFaultPlan` whose ``client`` site
+    this end honours (deterministic fault injection for tests/CI).
     """
 
     def __init__(
@@ -96,12 +152,22 @@ class ServiceClient:
         store: Optional[str] = None,
         idle_timeout: Optional[float] = None,
         machines: Optional[MachineRegistry] = None,
+        retry: Optional[WireRetryPolicy] = None,
+        call_deadline: Optional[float] = None,
+        chaos: Optional[WireFaultPlan] = None,
     ) -> None:
         self.endpoint = endpoint
         self.autospawn = autospawn
         self.spawn_timeout = spawn_timeout
         self.keep_going = keep_going
         self.machines = machines if machines is not None else MACHINES
+        self.retry = retry if retry is not None else WireRetryPolicy()
+        if call_deadline is not None and call_deadline <= 0:
+            raise DaemonError(
+                f"call_deadline must be positive seconds, got {call_deadline}"
+            )
+        self.call_deadline = call_deadline
+        self.chaos = chaos
         self._spawn_options = {
             "jobs": jobs,
             "chunksize": chunksize,
@@ -112,12 +178,20 @@ class ServiceClient:
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._writer = None
+        self._had_connection = False
+        self._exchange_index = 0
         #: The daemon's ``ping`` self-description (pid, jobs, version).
         self.server: Dict[str, Any] = {}
         #: Remote worker count (mirrors ``ReproService.jobs``).
         self.jobs: Optional[int] = None
         #: Whether this client spawned the daemon it is talking to.
         self.spawned = False
+        #: Whether work ops have degraded to the in-process fallback.
+        self.degraded = False
+        self._fallback = None
+        #: Session-lifetime transport counters (per-call deltas become
+        #: each response's ``meta.wire``).
+        self.wire = WireCounters()
         # Client-side counters mirroring the local session surface;
         # accumulated from response metas (each client tracks its own
         # view — the daemon's totals are ``stats()``).
@@ -133,8 +207,17 @@ class ServiceClient:
         """Ensure a live connection (spawning the daemon if allowed)."""
         if self._sock is not None:
             return
+        self._call("ping")
+
+    def _ensure_connection(self) -> None:
+        if self._sock is not None:
+            return
         try:
-            sock = connect_endpoint(self.endpoint)
+            sock = connect_endpoint(
+                self.endpoint,
+                timeout=self.retry.connect_timeout,
+                io_timeout=self.retry.call_timeout,
+            )
         except OSError as error:
             if not self.autospawn:
                 raise DaemonError(
@@ -146,11 +229,22 @@ class ServiceClient:
                 self.endpoint, timeout=self.spawn_timeout, process=process
             )
             self.spawned = True
-            sock = connect_endpoint(self.endpoint)
+            self.wire.spawns += 1
+            sock = connect_endpoint(
+                self.endpoint,
+                timeout=self.retry.connect_timeout,
+                io_timeout=self.retry.call_timeout,
+            )
+        if self._had_connection:
+            self.wire.reconnects += 1
+        self._had_connection = True
         self._sock = sock
         self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
         self._writer = sock.makefile("w", encoding="utf-8", newline="\n")
-        self.server = self._call("ping")["server"]
+        # Validate the connection with a raw ping (no nested retry loop:
+        # a fault here surfaces to _call, which closes and retries whole).
+        reply = self._exchange_on_socket("ping", {}, None)
+        self.server = reply["server"]
         self.jobs = self.server.get("jobs")
 
     def close(self) -> None:
@@ -170,6 +264,9 @@ class ServiceClient:
         self._sock = None
         self._reader = None
         self._writer = None
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
 
     def __enter__(self) -> "ServiceClient":
         self.connect()
@@ -181,44 +278,261 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
-    def _call(self, op: str, _retry: bool = True, **payload: Any) -> Dict[str, Any]:
-        was_connected = self._sock is not None
-        self.connect()
-        message = {"schema": WIRE_SCHEMA, "op": op}
+    def _exchange_on_socket(
+        self,
+        op: str,
+        payload: Dict[str, Any],
+        deadline: Optional[float],
+    ) -> Dict[str, Any]:
+        """One request/reply on the current socket — no retry here.
+
+        The client-side chaos injection point: a planned fault at this
+        exchange index replaces the healthy exchange with the planned
+        misbehaviour (the retry loop then sees exactly what a real
+        refused/reset/truncated/stalled wire would have produced).
+        """
+        fault = None
+        if self.chaos is not None:
+            fault = self.chaos.fault_for("client", self._exchange_index)
+        self._exchange_index += 1
+        if fault == "refuse":
+            raise ConnectionRefusedError(
+                "injected wire fault: connection refused"
+            )
+        message: Dict[str, Any] = {"schema": WIRE_SCHEMA, "op": op}
         message.update(payload)
-        line = json.dumps(message, sort_keys=True)
-        try:
-            self._writer.write(line + "\n")
-            self._writer.flush()
-            reply_line = self._reader.readline()
-        except OSError as error:
-            # Dropped on a connection we had been holding open (the
-            # daemon idled out between calls): reconnect once and retry —
-            # nothing of ours was in flight, so the retry is safe.  A
-            # failure on a *fresh* connection is a real daemon error.
-            self.close()
-            if _retry and was_connected:
-                return self._call(op, _retry=False, **payload)
-            raise DaemonError(f"daemon connection lost: {error}") from error
+        if deadline is not None:
+            message["deadline"] = deadline
+        timeout = self.retry.call_timeout
+        if deadline is not None:
+            # Give the daemon its full deadline plus slack to answer the
+            # structured timeout itself before we cut the socket.
+            timeout = min(
+                timeout if timeout is not None else deadline + 1.0,
+                deadline + 1.0,
+            )
+        self._sock.settimeout(timeout)
+        self._writer.write(json.dumps(message, sort_keys=True) + "\n")
+        self._writer.flush()
+        if fault in ("close", "disconnect"):
+            raise ConnectionResetError(
+                "injected wire fault: connection dropped mid-exchange"
+            )
+        if fault == "stall":
+            time.sleep(self.chaos.stall_seconds)
+        reply_line = self._reader.readline()
         if not reply_line:
-            # EOF before any reply: same split — an old connection may
-            # have been idle-closed before our line was read (retry on a
-            # fresh one); a fresh connection EOF means the daemon died.
-            self.close()
-            if _retry and was_connected:
-                return self._call(op, _retry=False, **payload)
-            raise DaemonError("daemon closed the connection without replying")
+            raise _WireFaultRetryable(
+                "daemon closed the connection without replying"
+            )
+        if fault == "truncate":
+            reply_line = reply_line[: max(1, len(reply_line) // 2)]
+        elif fault == "corrupt":
+            reply_line = "#" + reply_line[1:]
         try:
             reply = json.loads(reply_line)
         except ValueError as error:
-            raise DaemonError(f"malformed daemon reply: {error}") from error
+            raise _WireFaultRetryable(
+                f"malformed daemon reply: {error}"
+            ) from error
         if not reply.get("ok"):
             detail = reply.get("error") or {}
+            error_type = detail.get("type", "unknown")
+            message_text = detail.get("message", "no detail")
+            transient = _TRANSIENT_REPLY_TYPES.get(error_type)
+            if transient is not None:
+                raise transient(f"daemon reported: {message_text}")
             raise DaemonError(
-                f"daemon error [{detail.get('type', 'unknown')}]: "
-                f"{detail.get('message', 'no detail')}"
+                f"daemon error [{error_type}]: {message_text}"
             )
         return reply
+
+    def _call(self, op: str, **payload: Any) -> Dict[str, Any]:
+        """One operation under the wire retry policy.
+
+        Transient faults (connect refused, reset/EOF, garbled or
+        truncated reply, socket timeout, structured busy/draining/
+        timeout replies) close the connection, back off
+        deterministically, and retry on a fresh one — safe because every
+        op is idempotent by content fingerprint.  Deterministic daemon
+        errors raise immediately.  An exhausted budget raises the
+        internal budget marker the work-op surface turns into in-process
+        degradation.
+        """
+        policy = self.retry
+        deadline = self.call_deadline if op in _WORK_OPS else None
+        self.wire.calls += 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self.wire.retries += 1
+                policy.sleep(policy.backoff_seconds(op, attempt))
+            self.wire.attempts += 1
+            try:
+                self._ensure_connection()
+                return self._exchange_on_socket(op, payload, deadline)
+            except (socket.timeout, TimeoutError) as error:
+                self.wire.timeouts += 1
+                last_error = error
+                self.close()
+            except DaemonBusyError as error:
+                self.wire.busy += 1
+                last_error = error
+                self.close()
+            except (
+                ConnectionRefusedError,
+                ConnectionResetError,
+                BrokenPipeError,
+                DaemonDrainingError,
+                WireTimeoutError,
+                _WireFaultRetryable,
+            ) as error:
+                last_error = error
+                self.close()
+            except OSError as error:
+                # Any other socket-level failure (stale socket file,
+                # daemon died mid-exchange): same transient treatment.
+                last_error = error
+                self.close()
+        raise _WireBudgetExhausted(
+            f"daemon unreachable after {policy.max_attempts} "
+            f"attempt{'s' if policy.max_attempts != 1 else ''}: {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # Degradation to in-process execution
+    # ------------------------------------------------------------------
+    def _fallback_service(self):
+        if self._fallback is None:
+            from .session import ReproService
+
+            warnings.warn(
+                "daemon wire retry budget exhausted; degrading to "
+                "in-process evaluation (slower, results identical)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._fallback = ReproService(
+                jobs=1,
+                chunksize=self._spawn_options["chunksize"],
+                store=self._spawn_options["store"],
+            )
+        return self._fallback
+
+    def _wire_snapshot(
+        self, before: WireCounters, degraded: bool
+    ) -> WireTelemetry:
+        return WireTelemetry(
+            attempts=self.wire.attempts - before.attempts,
+            retries=self.wire.retries - before.retries,
+            reconnects=self.wire.reconnects - before.reconnects,
+            degraded=degraded,
+        )
+
+    @staticmethod
+    def _stamp(response, wire: WireTelemetry):
+        """Attach per-call wire telemetry to a decoded response.
+
+        Done after decoding so the codec never sees transport state —
+        stored and memoized entries stay byte-identical regardless of
+        how (or whether) they travelled.
+        """
+        return dataclasses.replace(
+            response, meta=dataclasses.replace(response.meta, wire=wire)
+        )
+
+    # ------------------------------------------------------------------
+    # The service surface
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """The daemon's self-description (pid, jobs, uptime, version)."""
+        try:
+            return self._call("ping")["server"]
+        except _WireBudgetExhausted as error:
+            raise DaemonError(str(error)) from error
+
+    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        before = dataclasses.replace(self.wire)
+        if self.degraded and self.retry.degrade:
+            response = self._schedule_degraded(request)
+        else:
+            try:
+                reply = self._call(
+                    "schedule", request=encode_request(request)
+                )
+            except _WireBudgetExhausted as error:
+                if not self.retry.degrade:
+                    raise DaemonError(str(error)) from error
+                response = self._schedule_degraded(request)
+            else:
+                response = decode_response(reply["response"])
+                if not isinstance(response, ScheduleResponse):
+                    raise DaemonError("daemon returned a non-schedule response")
+        response = self._stamp(
+            response, self._wire_snapshot(before, self.degraded)
+        )
+        self._absorb_meta(response)
+        return response
+
+    def _schedule_degraded(self, request: ScheduleRequest) -> ScheduleResponse:
+        self.degraded = True
+        self.wire.degraded_calls += 1
+        return self._fallback_service().schedule(request)
+
+    def evaluate(self, request: EvaluationRequest) -> EvaluationResponse:
+        return self.evaluate_many([request])[0]
+
+    def evaluate_many(
+        self, requests: Sequence[EvaluationRequest]
+    ) -> List[EvaluationResponse]:
+        before = dataclasses.replace(self.wire)
+        if self.degraded and self.retry.degrade:
+            responses = self._evaluate_degraded(requests)
+        else:
+            try:
+                reply = self._call(
+                    "evaluate",
+                    requests=[encode_request(request) for request in requests],
+                    keep_going=self.keep_going,
+                )
+            except _WireBudgetExhausted as error:
+                if not self.retry.degrade:
+                    raise DaemonError(str(error)) from error
+                responses = self._evaluate_degraded(requests)
+            else:
+                responses = []
+                for payload in reply["responses"]:
+                    response = decode_response(payload)
+                    if not isinstance(response, EvaluationResponse):
+                        raise DaemonError(
+                            "daemon returned a non-evaluation response"
+                        )
+                    responses.append(response)
+                if len(responses) != len(requests):
+                    raise DaemonError(
+                        f"daemon returned {len(responses)} responses "
+                        f"for {len(requests)} requests"
+                    )
+        wire = self._wire_snapshot(before, self.degraded)
+        stamped: List[EvaluationResponse] = []
+        for response in responses:
+            response = self._stamp(response, wire)
+            self._absorb_meta(response)
+            self.failures.extend(response.result.failures)
+            stamped.append(response)
+        return stamped
+
+    def _evaluate_degraded(
+        self, requests: Sequence[EvaluationRequest]
+    ) -> List[EvaluationResponse]:
+        self.degraded = True
+        self.wire.degraded_calls += 1
+        service = self._fallback_service()
+        previous, service.keep_going = service.keep_going, self.keep_going
+        try:
+            return service.evaluate_many(list(requests))
+        finally:
+            service.keep_going = previous
 
     def _absorb_meta(self, response) -> None:
         meta = response.meta
@@ -238,47 +552,6 @@ class ServiceClient:
                 chunk_attempts=list(meta.telemetry.chunk_attempts),
             )
             self.telemetry.merge(batch)
-
-    # ------------------------------------------------------------------
-    # The service surface
-    # ------------------------------------------------------------------
-    def ping(self) -> Dict[str, Any]:
-        """The daemon's self-description (pid, jobs, uptime, version)."""
-        return self._call("ping")["server"]
-
-    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
-        reply = self._call("schedule", request=encode_request(request))
-        response = decode_response(reply["response"])
-        if not isinstance(response, ScheduleResponse):
-            raise DaemonError("daemon returned a non-schedule response")
-        self._absorb_meta(response)
-        return response
-
-    def evaluate(self, request: EvaluationRequest) -> EvaluationResponse:
-        return self.evaluate_many([request])[0]
-
-    def evaluate_many(
-        self, requests: Sequence[EvaluationRequest]
-    ) -> List[EvaluationResponse]:
-        reply = self._call(
-            "evaluate",
-            requests=[encode_request(request) for request in requests],
-            keep_going=self.keep_going,
-        )
-        responses: List[EvaluationResponse] = []
-        for payload in reply["responses"]:
-            response = decode_response(payload)
-            if not isinstance(response, EvaluationResponse):
-                raise DaemonError("daemon returned a non-evaluation response")
-            self._absorb_meta(response)
-            self.failures.extend(response.result.failures)
-            responses.append(response)
-        if len(responses) != len(requests):
-            raise DaemonError(
-                f"daemon returned {len(responses)} responses "
-                f"for {len(requests)} requests"
-            )
-        return responses
 
     def submit(self, request: EvaluationRequest) -> ClientHandle:
         """Transport-compatible ``submit``: the daemon call is
@@ -300,19 +573,32 @@ class ServiceClient:
         """Every loop lost through *this client* (keep-going mode)."""
         return FailureReport(failures=tuple(self.failures))
 
+    def wire_stats(self) -> Dict[str, Any]:
+        """This client's session-lifetime transport counters."""
+        return self.wire.to_dict()
+
     def stats(self) -> Dict[str, Any]:
-        """The daemon's own totals: cache, store and telemetry counters."""
-        reply = self._call("stats")
+        """The daemon's own totals: cache, store, telemetry and wire
+        counters (the daemon's view; :meth:`wire_stats` is this
+        client's)."""
+        try:
+            reply = self._call("stats")
+        except _WireBudgetExhausted as error:
+            raise DaemonError(str(error)) from error
         return {
             "server": reply["server"],
             "cache": reply["cache"],
             "store": reply["store"],
             "telemetry": reply["telemetry"],
+            "wire": reply.get("wire"),
         }
 
     def shutdown_server(self) -> None:
-        """Ask the daemon to exit (it finishes this reply, then stops)."""
+        """Ask the daemon to drain and exit (it finishes in-flight work,
+        refuses new work, then closes)."""
         try:
             self._call("shutdown")
+        except _WireBudgetExhausted as error:
+            raise DaemonError(str(error)) from error
         finally:
             self.close()

@@ -13,55 +13,97 @@ and with a disk store attached, one O(1) content-hash lookup fleet-wide.
 
 Wire protocol (one JSON object per line, both directions)::
 
-    -> {"schema": "repro-wire/1", "op": "ping"}
+    -> {"schema": "repro-wire/2", "op": "ping"}
     <- {"ok": true, "server": {"pid": ..., "jobs": ..., ...}}
-    -> {"schema": "repro-wire/1", "op": "evaluate",
+    -> {"schema": "repro-wire/2", "op": "evaluate", "deadline": 30.0,
         "requests": [<codec-encoded request>, ...], "keep_going": false}
     <- {"ok": true, "responses": [<codec-encoded response>, ...]}
-    -> {"schema": "repro-wire/1", "op": "schedule", "request": {...}}
+    -> {"schema": "repro-wire/2", "op": "schedule", "request": {...}}
     <- {"ok": true, "response": {...}}
-    -> {"schema": "repro-wire/1", "op": "stats"}
-    <- {"ok": true, "cache": {...}, "store": {...}|null, "telemetry": {...}}
-    -> {"schema": "repro-wire/1", "op": "shutdown"}
+    -> {"schema": "repro-wire/2", "op": "stats"}
+    <- {"ok": true, "cache": {...}, "store": {...}|null,
+        "telemetry": {...}, "wire": {...}}
+    -> {"schema": "repro-wire/2", "op": "shutdown"}
     <- {"ok": true, "stopping": true}
+
+``repro-wire/2`` adds the optional per-request ``deadline`` (seconds the
+client is willing to wait; an expired deadline is answered with a
+structured ``WireTimeoutError`` instead of a late result).  The daemon
+still answers ``repro-wire/1`` clients — the envelope is otherwise
+identical, wire/1 simply cannot carry a deadline.
 
 Failures are ``{"ok": false, "error": {"type": ..., "message": ...}}``;
 responses are the existing envelopes (including ``FailureReport`` s on
 partial keep-going results) through :mod:`repro.service.codec`.
 
+Serving model: **bounded thread-per-connection** over the one shared
+service.  Up to ``max_clients`` connections are served concurrently
+(excess connects get a structured ``busy`` reply instead of queuing
+blind); computes serialize on an internal service lock (the worker pool
+parallelizes the work itself — the lock protects the memo/store), while
+``ping``/``stats`` answer without it so health checks never queue behind
+a long evaluation.  Two clients asking for the same fingerprint
+**coalesce**: one computes, the other waits on the same result.
+
 Lifecycle: the daemon is **auto-spawned** by the CLI's ``--daemon`` flag
 (:func:`spawn_daemon` + :func:`wait_for_daemon`), shuts itself down
-after :data:`DEFAULT_IDLE_TIMEOUT` seconds without a connection, and
+after :data:`DEFAULT_IDLE_TIMEOUT` seconds without activity, and
 recovers stale socket files left by a crashed predecessor (bind fails →
-probe connect → refused → unlink and rebind).  ``repro serve --stop``
-asks a running daemon to exit.
+probe connect → refused → unlink and rebind).  Shutdown is a **graceful
+drain** (SIGTERM, ``repro serve --stop``, the ``shutdown`` op, or an
+idle timeout that fires mid-request): new work is refused with a
+structured ``draining`` reply, in-flight requests finish under
+``drain_timeout``, then the daemon closes.  Per-connection reads and
+writes carry a finite ``io_timeout`` so a stalled peer can never wedge
+the daemon.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import errno
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import DaemonError, ReproError
+from ..errors import (
+    DaemonDrainingError,
+    DaemonError,
+    ReproError,
+    WireTimeoutError,
+)
+from .chaos import WIRE_CRASH_EXIT_CODE, WireFaultPlan
 from .codec import decode_request, encode_response
 from .requests import EvaluationRequest, ScheduleRequest
 from .session import ReproService
 
-#: Wire protocol schema tag (bump on incompatible protocol changes).
-WIRE_SCHEMA = "repro-wire/1"
+#: Wire protocol schema tag the daemon (and client) speak natively.
+WIRE_SCHEMA = "repro-wire/2"
 
-#: Seconds without a client connection before the daemon exits.
+#: Every schema the daemon answers (wire/1 clients lack deadlines only).
+WIRE_SCHEMAS = ("repro-wire/1", "repro-wire/2")
+
+#: Seconds without client activity before the daemon exits.
 DEFAULT_IDLE_TIMEOUT = 300.0
 
 #: How long an auto-spawning client waits for the daemon socket.
 DEFAULT_SPAWN_TIMEOUT = 30.0
+
+#: Per-connection socket read/write timeout (a stalled peer is dropped).
+DEFAULT_IO_TIMEOUT = 300.0
+
+#: How long a draining daemon waits for in-flight requests to finish.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: Concurrent connections served before excess connects get ``busy``.
+DEFAULT_MAX_CLIENTS = 8
 
 
 def default_socket_path() -> str:
@@ -95,8 +137,18 @@ def parse_endpoint(endpoint: Optional[str]) -> Tuple[str, Any]:
     return ("unix", endpoint)
 
 
-def connect_endpoint(endpoint: Optional[str], timeout: float = 5.0) -> socket.socket:
-    """A connected client socket, or the OSError the connect raised."""
+def connect_endpoint(
+    endpoint: Optional[str],
+    timeout: float = 5.0,
+    io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+) -> socket.socket:
+    """A connected client socket, or the OSError the connect raised.
+
+    ``timeout`` bounds the connect itself; ``io_timeout`` is the finite
+    read/write timeout left on the socket afterwards — a stalled daemon
+    surfaces as ``socket.timeout`` instead of hanging the client forever
+    (the PR 9 default; pass ``None`` only if you bound reads yourself).
+    """
     family, address = parse_endpoint(endpoint)
     if family == "unix":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -108,8 +160,20 @@ def connect_endpoint(endpoint: Optional[str], timeout: float = 5.0) -> socket.so
     except OSError:
         sock.close()
         raise
-    sock.settimeout(None)
+    sock.settimeout(io_timeout)
     return sock
+
+
+class _Inflight:
+    """One in-progress computation other connections may coalesce onto."""
+
+    __slots__ = ("event", "response", "responses", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response = None
+        self.responses = None
+        self.error: Optional[BaseException] = None
 
 
 class ReproDaemon:
@@ -118,10 +182,19 @@ class ReproDaemon:
     ``jobs`` defaults to one worker per CPU (the daemon exists to keep a
     full pool warm); ``store`` takes the same specs as
     :class:`~repro.service.session.ReproService`.  ``idle_timeout``
-    seconds without a connection shut the daemon down (``None`` = run
-    until ``shutdown``/SIGTERM).  Connections are handled one at a time:
-    the pool already parallelizes the work itself, and single-threaded
-    dispatch keeps the memo/store free of locking.
+    seconds without activity shut the daemon down (``None`` = run until
+    ``shutdown``/SIGTERM); if work is still in flight when it fires, the
+    daemon drains instead of dying mid-request.
+
+    Up to ``max_clients`` connections are served concurrently, each on
+    its own thread; excess connects are answered with a structured
+    ``busy`` reply.  Computes serialize on one internal lock (the
+    memo/store/pool are not thread-safe; the pool parallelizes the work
+    itself) while ``ping``/``stats`` bypass it.  ``chaos`` takes a
+    :class:`~repro.service.chaos.WireFaultPlan` whose ``daemon`` /
+    ``accept`` sites this end honours; the ``crash`` kind is only obeyed
+    when ``allow_crash=True`` (``repro serve`` sets it — an in-thread
+    test daemon must not take the test runner down with it).
     """
 
     def __init__(
@@ -133,6 +206,11 @@ class ReproDaemon:
         store: Optional[object] = None,
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
         policy=None,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+        chaos: Optional[WireFaultPlan] = None,
+        allow_crash: bool = False,
     ) -> None:
         self.family, self.address = parse_endpoint(endpoint)
         self.jobs = jobs
@@ -143,14 +221,45 @@ class ReproDaemon:
             raise DaemonError(
                 f"idle_timeout must be positive seconds, got {idle_timeout}"
             )
+        if max_clients < 1:
+            raise DaemonError(f"max_clients must be >= 1, got {max_clients}")
+        if drain_timeout <= 0:
+            raise DaemonError(
+                f"drain_timeout must be positive seconds, got {drain_timeout}"
+            )
+        if io_timeout is not None and io_timeout <= 0:
+            raise DaemonError(
+                f"io_timeout must be positive seconds, got {io_timeout}"
+            )
         self.idle_timeout = idle_timeout
         self.policy = policy
+        self.max_clients = max_clients
+        self.drain_timeout = drain_timeout
+        self.io_timeout = io_timeout
+        self.chaos = chaos
+        self.allow_crash = allow_crash
         self.service: Optional[ReproService] = None
         self._listener: Optional[socket.socket] = None
         self._stopping = False
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
         self._started = time.monotonic()
+        self._last_activity = time.monotonic()
+        self._lock = threading.Lock()
+        self._service_lock = threading.RLock()
+        self._connections: set = set()
+        self._threads: List[threading.Thread] = []
+        self._inflight: Dict[str, _Inflight] = {}
+        self._inflight_ops = 0
+        self._accept_index = 0
+        self._reply_index = 0
         #: Requests answered over the daemon's lifetime (telemetry).
         self.requests_served = 0
+        self.connections_total = 0
+        self.busy_rejected = 0
+        self.coalesced = 0
+        self.read_timeouts = 0
+        self.deadline_misses = 0
 
     # ------------------------------------------------------------------
     # Socket setup and stale-socket recovery
@@ -194,12 +303,28 @@ class ReproDaemon:
                 raise DaemonError(
                     f"cannot bind daemon endpoint {self.address}: {error}"
                 ) from error
-        listener.listen(8)
+        listener.listen(max(self.max_clients, 8))
         return listener
 
     # ------------------------------------------------------------------
-    # Serving
+    # Lifecycle
     # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Refuse new work, finish in-flight requests, then exit.
+
+        Idempotent: a second drain request (double ``serve --stop``,
+        SIGTERM racing the idle timeout) is a no-op.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            self._drain_deadline = time.monotonic() + self.drain_timeout
+
+    def _active_ops(self) -> int:
+        with self._lock:
+            return self._inflight_ops
+
     def serve_forever(self) -> None:
         """Bind, warm the pool, and answer connections until idle/stopped."""
         self.service = ReproService(
@@ -210,34 +335,117 @@ class ReproDaemon:
             policy=self.policy,
         )
         self._listener = self._bind()
+        if threading.current_thread() is threading.main_thread():
+            # SIGTERM means drain, not die mid-request.  Only possible
+            # from the main thread (tests run daemons on worker threads
+            # and call :meth:`drain` directly).
+            try:
+                signal.signal(signal.SIGTERM, lambda _sig, _frm: self.drain())
+            except (ValueError, OSError):  # pragma: no cover
+                pass
         try:
             # Warm the forkserver pool now, so the first request is not
             # the one paying the worker spawn.
             self.service.warm()
-            last_activity = time.monotonic()
+            self._last_activity = time.monotonic()
             while not self._stopping:
-                if self.idle_timeout is not None:
-                    remaining = self.idle_timeout - (
-                        time.monotonic() - last_activity
-                    )
-                    if remaining <= 0:
+                now = time.monotonic()
+                if self._draining:
+                    if self._active_ops() == 0:
                         break
-                    self._listener.settimeout(min(remaining, 1.0))
-                else:
-                    self._listener.settimeout(1.0)
+                    if (
+                        self._drain_deadline is not None
+                        and now >= self._drain_deadline
+                    ):
+                        break
+                elif self.idle_timeout is not None and (
+                    now - self._last_activity >= self.idle_timeout
+                ):
+                    if self._active_ops() > 0:
+                        # A request is mid-flight: drain (finish it,
+                        # refuse new work) instead of killing it.
+                        self.drain()
+                        continue
+                    break
+                self._listener.settimeout(0.1)
                 try:
                     connection, _peer = self._listener.accept()
                 except socket.timeout:
                     continue
                 except OSError:
                     break
-                try:
-                    self._serve_connection(connection)
-                finally:
-                    connection.close()
-                last_activity = time.monotonic()
+                self._last_activity = time.monotonic()
+                self._accept(connection)
         finally:
             self.close()
+
+    def _accept(self, connection: socket.socket) -> None:
+        with self._lock:
+            accept_index = self._accept_index
+            self._accept_index += 1
+            self.connections_total += 1
+            active = len(self._connections)
+        if self.chaos is not None and (
+            self.chaos.fault_for("accept", accept_index) == "close"
+        ):
+            # Injected accept-then-close: the client sees an immediate
+            # EOF, the transient-disconnect class.
+            connection.close()
+            return
+        if active >= self.max_clients:
+            self.busy_rejected += 1
+            self._refuse(
+                connection,
+                {
+                    "ok": False,
+                    "busy": True,
+                    "error": {
+                        "type": "DaemonBusyError",
+                        "message": (
+                            f"daemon is serving {active} clients "
+                            f"(max_clients={self.max_clients}); retry"
+                        ),
+                    },
+                },
+            )
+            return
+        thread = threading.Thread(
+            target=self._connection_thread,
+            args=(connection,),
+            name="repro-daemon-conn",
+            daemon=True,
+        )
+        with self._lock:
+            self._connections.add(connection)
+            self._threads.append(thread)
+        thread.start()
+
+    @staticmethod
+    def _refuse(connection: socket.socket, reply: Dict[str, Any]) -> None:
+        """Best-effort structured reply on a connection we won't serve."""
+        try:
+            connection.settimeout(1.0)
+            connection.sendall(
+                (json.dumps(reply, sort_keys=True) + "\n").encode("utf-8")
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _connection_thread(self, connection: socket.socket) -> None:
+        try:
+            self._serve_connection(connection)
+        finally:
+            with self._lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         if self._listener is not None:
@@ -248,26 +456,77 @@ class ReproDaemon:
                     os.unlink(self.address)
                 except OSError:
                     pass
+        with self._lock:
+            connections = list(self._connections)
+            threads = list(self._threads)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=2.0)
         if self.service is not None:
             self.service.close()
             self.service = None
 
+    # ------------------------------------------------------------------
+    # One connection
+    # ------------------------------------------------------------------
     def _serve_connection(self, connection: socket.socket) -> None:
-        connection.settimeout(None)
-        reader = connection.makefile("r", encoding="utf-8", newline="\n")
-        writer = connection.makefile("w", encoding="utf-8", newline="\n")
         try:
-            for line in reader:
+            connection.settimeout(self.io_timeout)
+            reader = connection.makefile("r", encoding="utf-8", newline="\n")
+            writer = connection.makefile("w", encoding="utf-8", newline="\n")
+        except OSError:
+            return  # closed under us (hard stop raced the accept)
+        try:
+            while not self._stopping:
+                try:
+                    line = reader.readline()
+                except socket.timeout:
+                    # The peer stalled past io_timeout: tell it (best
+                    # effort) and drop the connection — it can retry.
+                    self.read_timeouts += 1
+                    self._send_reply(
+                        writer,
+                        _error_reply(
+                            WireTimeoutError(
+                                f"no request within {self.io_timeout:g}s; "
+                                f"closing connection"
+                            )
+                        ),
+                    )
+                    break
+                if not line:
+                    break
                 line = line.strip()
                 if not line:
                     continue
-                reply = self._dispatch_line(line)
-                writer.write(json.dumps(reply, sort_keys=True) + "\n")
-                writer.flush()
-                if self._stopping:
+                received = time.monotonic()
+                with self._lock:
+                    self._inflight_ops += 1
+                try:
+                    reply = self._dispatch_line(line, received)
+                    delivered = self._send_reply(writer, reply)
+                finally:
+                    # Only decremented after the reply left (or failed to
+                    # leave) this end: a draining daemon must not close
+                    # the listener between computing a response and
+                    # writing it.
+                    with self._lock:
+                        self._inflight_ops -= 1
+                self._last_activity = time.monotonic()
+                if not delivered:
                     break
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away mid-reply; nothing to salvage
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            pass  # client went away mid-exchange; nothing to salvage
+        except OSError:
+            pass  # force-closed under us (drain deadline / hard stop)
         finally:
             try:
                 reader.close()
@@ -275,25 +534,77 @@ class ReproDaemon:
             except OSError:
                 pass
 
+    def _send_reply(self, writer, reply: Dict[str, Any]) -> bool:
+        """Write one reply line; False means the connection is dead.
+
+        The daemon-side chaos injection point: a planned fault at the
+        current ``daemon`` reply index replaces the healthy write with
+        the planned misbehaviour.
+        """
+        text = json.dumps(reply, sort_keys=True)
+        kind = None
+        if self.chaos is not None:
+            with self._lock:
+                reply_index = self._reply_index
+                self._reply_index += 1
+            kind = self.chaos.fault_for("daemon", reply_index)
+        if kind == "crash":
+            if self.allow_crash:
+                # Simulated hard crash mid-request: no reply, no
+                # cleanup, no unlinked socket — exactly what a kill -9
+                # leaves behind.  Flush nothing; just die.
+                os._exit(WIRE_CRASH_EXIT_CODE)
+            kind = None  # in-thread daemons ignore planned crashes
+        if kind == "stall":
+            time.sleep(self.chaos.stall_seconds)
+        elif kind == "disconnect":
+            return False  # drop the connection before any reply bytes
+        elif kind == "truncate":
+            try:
+                writer.write(text[: max(1, len(text) // 2)])
+                writer.flush()
+            except OSError:
+                pass
+            return False  # cut mid-JSON, no newline, then hang up
+        elif kind == "corrupt":
+            text = "#" + text[1:]  # same length, no longer parseable
+        try:
+            writer.write(text + "\n")
+            writer.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+        return True
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _dispatch_line(self, line: str) -> Dict[str, Any]:
+    def _dispatch_line(self, line: str, received: float) -> Dict[str, Any]:
         try:
             message = json.loads(line)
         except ValueError as error:
             return _error_reply(DaemonError(f"malformed request line: {error}"))
         if not isinstance(message, dict):
             return _error_reply(DaemonError("request must be a JSON object"))
-        if message.get("schema") != WIRE_SCHEMA:
+        if message.get("schema") not in WIRE_SCHEMAS:
             return _error_reply(
                 DaemonError(
                     f"unsupported wire schema {message.get('schema')!r}; "
-                    f"this daemon speaks {WIRE_SCHEMA}"
+                    f"this daemon speaks {WIRE_SCHEMA} "
+                    f"(and still answers {WIRE_SCHEMAS[0]})"
                 )
             )
+        deadline_at: Optional[float] = None
+        deadline = message.get("deadline")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or deadline <= 0:
+                return _error_reply(
+                    DaemonError(
+                        f"deadline must be positive seconds, got {deadline!r}"
+                    )
+                )
+            deadline_at = received + float(deadline)
         try:
-            reply = self._dispatch(message)
+            reply = self._dispatch(message, deadline_at)
         except ReproError as error:
             return _error_reply(error)
         except Exception as error:  # never let one request kill the daemon
@@ -303,18 +614,36 @@ class ReproDaemon:
             reply["id"] = message["id"]
         return reply
 
-    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _check_work_allowed(self, deadline_at: Optional[float]) -> None:
+        if self._draining:
+            raise DaemonDrainingError(
+                "daemon is draining: finishing in-flight requests, "
+                "refusing new work"
+            )
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            with self._lock:
+                self.deadline_misses += 1
+            raise WireTimeoutError(
+                "request deadline expired before the daemon could start it"
+            )
+
+    def _dispatch(
+        self, message: Dict[str, Any], deadline_at: Optional[float]
+    ) -> Dict[str, Any]:
         op = message.get("op")
-        self.requests_served += 1
+        with self._lock:
+            self.requests_served += 1
         if op == "ping":
             return {"server": self.describe()}
         if op == "schedule":
+            self._check_work_allowed(deadline_at)
             request = decode_request(message["request"])
             if not isinstance(request, ScheduleRequest):
                 raise DaemonError("'schedule' op needs a schedule request")
-            response = self.service.schedule(request)
+            response = self._schedule_coalesced(request, deadline_at)
             return {"response": encode_response(response)}
         if op == "evaluate":
+            self._check_work_allowed(deadline_at)
             requests: List[EvaluationRequest] = []
             for payload in message.get("requests", ()):
                 request = decode_request(payload)
@@ -323,18 +652,17 @@ class ReproDaemon:
                         "'evaluate' op needs evaluation requests"
                     )
                 requests.append(request)
-            # keep_going is session state on ReproService; the wire carries
-            # it per call, so set it for the duration of this batch.
             keep_going = bool(message.get("keep_going", False))
-            previous, self.service.keep_going = self.service.keep_going, keep_going
-            try:
-                responses = self.service.evaluate_many(requests)
-            finally:
-                self.service.keep_going = previous
+            responses = self._evaluate_coalesced(
+                requests, keep_going, deadline_at
+            )
             return {
                 "responses": [encode_response(r) for r in responses]
             }
         if op == "stats":
+            # Served without the service lock so health checks answer
+            # during a long evaluation; counters may be mid-update, which
+            # is fine for telemetry.
             service = self.service
             return {
                 "server": self.describe(),
@@ -346,15 +674,161 @@ class ReproDaemon:
                     None if service.store is None else service.store.stats()
                 ),
                 "telemetry": service.telemetry.to_dict(),
+                "wire": self.wire_stats(),
             }
         if op == "shutdown":
-            self._stopping = True
-            return {"stopping": True}
+            self.drain()
+            return {"stopping": True, "draining": True}
         raise DaemonError(f"unknown daemon op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Coalescing: identical in-flight fingerprints share one computation
+    # ------------------------------------------------------------------
+    def _await_inflight(
+        self, entry: _Inflight, deadline_at: Optional[float]
+    ):
+        """Wait for another connection's computation of the same work."""
+        timeout = None
+        if deadline_at is not None:
+            timeout = max(0.0, deadline_at - time.monotonic())
+        if not entry.event.wait(timeout):
+            with self._lock:
+                self.deadline_misses += 1
+            raise WireTimeoutError(
+                "request deadline expired while waiting for a coalesced "
+                "computation"
+            )
+        if entry.error is not None:
+            raise entry.error
+        return entry.response
+
+    @staticmethod
+    def _as_shared(response):
+        """A waiter's copy of a coalesced response: a cache hit for it."""
+        return dataclasses.replace(
+            response,
+            meta=dataclasses.replace(response.meta, cache_hit=True),
+        )
+
+    def _schedule_coalesced(
+        self, request: ScheduleRequest, deadline_at: Optional[float]
+    ):
+        fingerprint = request.fingerprint()
+        with self._lock:
+            entry = self._inflight.get(fingerprint)
+            if entry is None:
+                owner = True
+                entry = _Inflight()
+                self._inflight[fingerprint] = entry
+            else:
+                owner = False
+                self.coalesced += 1
+        if not owner:
+            return self._as_shared(self._await_inflight(entry, deadline_at))
+        try:
+            with self._service_lock:
+                response = self.service.schedule(request)
+        except BaseException as error:
+            entry.error = error
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+            entry.event.set()
+            raise
+        entry.response = response
+        with self._lock:
+            self._inflight.pop(fingerprint, None)
+        entry.event.set()
+        return response
+
+    def _evaluate_coalesced(
+        self,
+        requests: List[EvaluationRequest],
+        keep_going: bool,
+        deadline_at: Optional[float],
+    ) -> List[Any]:
+        """One batch, with per-fingerprint coalescing against other
+        connections.  Fingerprints nobody else is computing are *owned*
+        (computed here, as one batch); fingerprints already in flight are
+        *waited on* — after our own compute, so an owner never blocks on
+        a waiter and the two-clients-swap case cannot deadlock.
+        """
+        own: List[Tuple[int, EvaluationRequest]] = []
+        owned_entries: List[Tuple[str, _Inflight]] = []
+        waits: List[Tuple[int, _Inflight]] = []
+        with self._lock:
+            for position, request in enumerate(requests):
+                fingerprint = request.fingerprint()
+                entry = self._inflight.get(fingerprint)
+                if entry is None:
+                    entry = _Inflight()
+                    self._inflight[fingerprint] = entry
+                    own.append((position, request))
+                    owned_entries.append((fingerprint, entry))
+                else:
+                    self.coalesced += 1
+                    waits.append((position, entry))
+        results: List[Any] = [None] * len(requests)
+        try:
+            if own:
+                own_requests = [request for _position, request in own]
+                with self._service_lock:
+                    previous = self.service.keep_going
+                    self.service.keep_going = keep_going
+                    try:
+                        own_responses = self.service.evaluate_many(
+                            own_requests
+                        )
+                    finally:
+                        self.service.keep_going = previous
+                for (position, _request), response in zip(own, own_responses):
+                    results[position] = response
+                with self._lock:
+                    for (fingerprint, entry), response in zip(
+                        owned_entries, own_responses
+                    ):
+                        entry.response = response
+                        self._inflight.pop(fingerprint, None)
+                for _fingerprint, entry in owned_entries:
+                    entry.event.set()
+                owned_entries = []
+        except BaseException as error:
+            # Publish the failure so coalesced waiters on other
+            # connections fail fast instead of hanging to their deadline.
+            with self._lock:
+                for fingerprint, entry in owned_entries:
+                    entry.error = error
+                    self._inflight.pop(fingerprint, None)
+            for _fingerprint, entry in owned_entries:
+                entry.event.set()
+            raise
+        for position, entry in waits:
+            results[position] = self._as_shared(
+                self._await_inflight(entry, deadline_at)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def wire_stats(self) -> Dict[str, Any]:
+        """Transport counters (the ``wire`` block of the ``stats`` op)."""
+        with self._lock:
+            return {
+                "connections": self.connections_total,
+                "active_connections": len(self._connections),
+                "busy_rejected": self.busy_rejected,
+                "coalesced": self.coalesced,
+                "read_timeouts": self.read_timeouts,
+                "deadline_misses": self.deadline_misses,
+                "requests_served": self.requests_served,
+            }
 
     def describe(self) -> Dict[str, Any]:
         from .. import __version__
 
+        with self._lock:
+            in_flight = self._inflight_ops
+            active = len(self._connections)
         return {
             "pid": os.getpid(),
             "jobs": self.service.jobs if self.service else None,
@@ -362,6 +836,13 @@ class ReproDaemon:
             "version": __version__,
             "uptime_seconds": time.monotonic() - self._started,
             "requests_served": self.requests_served,
+            "in_flight": in_flight,
+            "active_connections": active,
+            "max_clients": self.max_clients,
+            "draining": self._draining,
+            "idle_timeout": self.idle_timeout,
+            "io_timeout": self.io_timeout,
+            "drain_timeout": self.drain_timeout,
             "endpoint": (
                 self.address
                 if self.family == "unix"
@@ -385,6 +866,33 @@ def _error_reply(error: BaseException) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Spawning
 # ----------------------------------------------------------------------
+def daemon_log_path(endpoint: Optional[str] = None) -> str:
+    """Where a spawned daemon's stdout/stderr land (for post-mortems).
+
+    Unix sockets log next to the socket; TCP endpoints log under the
+    per-user temp directory keyed by port (a TCP daemon has no socket
+    file to sit next to).
+    """
+    family, address = parse_endpoint(endpoint)
+    if family == "unix":
+        directory = os.path.dirname(address) or "."
+        return os.path.join(directory, "daemon.log")
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-{uid}", f"daemon-tcp-{address[1]}.log"
+    )
+
+
+def _log_tail(path: str, limit: int = 12) -> str:
+    """The last ``limit`` non-empty log lines, or '' if unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            lines = [line.rstrip() for line in handle if line.strip()]
+    except OSError:
+        return ""
+    return "\n".join(lines[-limit:])
+
+
 def spawn_daemon(
     endpoint: Optional[str] = None,
     jobs: Optional[int] = None,
@@ -392,15 +900,17 @@ def spawn_daemon(
     mp_context: Optional[str] = None,
     store: Optional[str] = None,
     idle_timeout: Optional[float] = None,
+    max_clients: Optional[int] = None,
+    drain_timeout: Optional[float] = None,
+    io_timeout: Optional[float] = None,
 ) -> subprocess.Popen:
     """Start ``repro serve`` detached in the background.
 
     The child is its own session leader (it must outlive this process)
-    and logs next to a unix socket (``daemon.log``) for post-mortems.
-    Returns the ``Popen`` handle; callers should
-    :func:`wait_for_daemon` before speaking to it.
+    and logs to :func:`daemon_log_path` for post-mortems.  Returns the
+    ``Popen`` handle; callers should :func:`wait_for_daemon` before
+    speaking to it.
     """
-    family, address = parse_endpoint(endpoint)
     argv = [sys.executable, "-m", "repro", "serve"]
     if endpoint is not None:
         argv += ["--socket", endpoint]
@@ -414,13 +924,17 @@ def spawn_daemon(
         argv += ["--store", str(store)]
     if idle_timeout is not None:
         argv += ["--idle-timeout", str(idle_timeout)]
-    if family == "unix":
-        directory = os.path.dirname(address)
-        if directory:
-            os.makedirs(directory, mode=0o700, exist_ok=True)
-        log = open(os.path.join(directory or ".", "daemon.log"), "ab")
-    else:
-        log = open(os.devnull, "wb")
+    if max_clients is not None:
+        argv += ["--max-clients", str(max_clients)]
+    if drain_timeout is not None:
+        argv += ["--drain-timeout", str(drain_timeout)]
+    if io_timeout is not None:
+        argv += ["--io-timeout", str(io_timeout)]
+    log_path = daemon_log_path(endpoint)
+    directory = os.path.dirname(log_path)
+    if directory:
+        os.makedirs(directory, mode=0o700, exist_ok=True)
+    log = open(log_path, "ab")
     try:
         return subprocess.Popen(
             argv,
@@ -442,7 +956,8 @@ def wait_for_daemon(
     """Block until the daemon accepts connections (or raise DaemonError).
 
     If ``process`` is given and exits before the socket comes up, fail
-    immediately with its exit code instead of burning the whole timeout.
+    immediately — with the tail of the daemon's log (its captured
+    stderr) in the error, not just the exit code.
     """
     deadline = time.monotonic() + timeout
     delay = 0.02
@@ -452,9 +967,13 @@ def wait_for_daemon(
             return
         except OSError as error:
             if process is not None and process.poll() is not None:
+                tail = _log_tail(daemon_log_path(endpoint))
+                detail = f":\n{tail}" if tail else (
+                    " (and left no log output)"
+                )
                 raise DaemonError(
                     f"daemon exited with code {process.returncode} before "
-                    f"accepting connections (see daemon.log next to the socket)"
+                    f"accepting connections{detail}"
                 )
             if time.monotonic() >= deadline:
                 raise DaemonError(

@@ -15,11 +15,22 @@ to the canonical encoded text of its response (see
 
 Both stores obey the same safety contract, enforced in :meth:`load`:
 a corrupted, truncated or wrong-schema entry is **a miss, never an
-error** — the decoder's :class:`~repro.errors.CodecError` drops the
-entry and the caller recomputes.  Stores count ``hits`` / ``misses`` /
-``evictions``; the service session surfaces a :class:`StoreTelemetry`
-snapshot on every :class:`~repro.service.responses.ResponseMeta` so
-callers can see whether the content-addressed layer served them.
+error** — the decoder's :class:`~repro.errors.CodecError` quarantines
+the entry and the caller recomputes.  The same degrade-don't-raise
+discipline covers writes: a full or read-only filesystem (ENOSPC,
+EROFS, permissions) turns :meth:`put` into a warn-once no-op, because a
+store must never break a computation it was only meant to accelerate.
+Stores count ``hits`` / ``misses`` / ``evictions`` (plus
+``write_errors`` and ``quarantined`` in :meth:`stats`); the service
+session surfaces a :class:`StoreTelemetry` snapshot on every
+:class:`~repro.service.responses.ResponseMeta` so callers can see
+whether the content-addressed layer served them.
+
+:class:`DiskStore` is safe to share between processes: writes are
+atomic, ``fsync=True`` makes them crash-durable, corrupted entries move
+to a ``quarantine/`` directory for post-mortem instead of vanishing,
+and LRU eviction takes a cross-process file lock so two daemons over
+one store root cannot race each other deleting entries.
 
 :func:`open_store` resolves a store *spec* string (``memory``, ``disk``,
 ``disk:PATH``, or a bare path) — unknown names raise the registries'
@@ -31,8 +42,14 @@ from __future__ import annotations
 
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX only; eviction locking degrades to best-effort without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import CodecError, StoreError
 
@@ -75,6 +92,9 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.write_errors = 0
+        self.quarantined = 0
+        self._warned_write_error = False
 
     # -- raw operations (subclass responsibility) ----------------------
     def _read(self, fingerprint: str) -> Optional[str]:
@@ -85,6 +105,15 @@ class ResultStore:
 
     def _delete(self, fingerprint: str) -> None:
         raise NotImplementedError
+
+    def _quarantine(self, fingerprint: str) -> None:
+        """Set a corrupted entry aside (default: just delete it).
+
+        :class:`DiskStore` overrides this to move the file into the
+        store's ``quarantine/`` directory so bit rot and torn writes can
+        be examined post-mortem instead of silently vanishing.
+        """
+        self._delete(fingerprint)
 
     def keys(self) -> List[str]:
         """Every stored fingerprint (no particular order)."""
@@ -112,8 +141,8 @@ class ResultStore:
         """Decode one entry; **corruption is a miss, never an error**.
 
         A present entry that ``decoder`` rejects (truncated file, stale
-        schema, bit rot) is deleted, demoted to a miss, and ``None`` is
-        returned — the caller recomputes and overwrites.
+        schema, bit rot) is quarantined, demoted to a miss, and ``None``
+        is returned — the caller recomputes and overwrites.
         """
         text = self._read(fingerprint)
         if text is None:
@@ -122,7 +151,8 @@ class ResultStore:
         try:
             value = decoder(text)
         except CodecError:
-            self._delete(fingerprint)
+            self._quarantine(fingerprint)
+            self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -134,8 +164,25 @@ class ResultStore:
         The entry just written is the most recently used, so eviction
         removes it last — unless it alone exceeds the whole budget, in
         which case it is evicted too (the store is too small for it).
+
+        A write the filesystem rejects (ENOSPC, EROFS, permissions) is
+        **degraded to a warn-once no-op**: the entry is simply not
+        cached and the serving path carries on.  The count shows up as
+        ``write_errors`` in :meth:`stats`.
         """
-        self._write(fingerprint, text)
+        try:
+            self._write(fingerprint, text)
+        except OSError as error:
+            self.write_errors += 1
+            if not self._warned_write_error:
+                self._warned_write_error = True
+                warnings.warn(
+                    f"{self.name} store cannot persist results "
+                    f"({error}); continuing without caching new entries",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
         self._evict_to_budget()
 
     def delete(self, fingerprint: str) -> None:
@@ -149,15 +196,37 @@ class ResultStore:
             removed += 1
         return removed
 
+    def _acquire_eviction_lock(self) -> object:
+        """Claim the right to evict; ``False`` means another holder won.
+
+        The base store is process-private, so eviction is always ours to
+        do.  :class:`DiskStore` overrides this with a cross-process file
+        lock so two daemons sharing one store root cannot race each
+        other's LRU deletes.
+        """
+        return None
+
+    def _release_eviction_lock(self, token: object) -> None:
+        """Release whatever :meth:`_acquire_eviction_lock` returned."""
+
     def _evict_to_budget(self) -> None:
         if self.max_bytes is None:
             return
-        while self.total_bytes() > self.max_bytes:
-            order = self._lru_order()
-            if not order:
-                return
-            self._delete(order[0])
-            self.evictions += 1
+        token = self._acquire_eviction_lock()
+        if token is False:
+            # Another process is evicting this store right now; it will
+            # bring the size under budget — doubling up would just race
+            # deletes against each other.
+            return
+        try:
+            while self.total_bytes() > self.max_bytes:
+                order = self._lru_order()
+                if not order:
+                    return
+                self._delete(order[0])
+                self.evictions += 1
+        finally:
+            self._release_eviction_lock(token)
 
     def stats(self) -> Dict[str, object]:
         return {
@@ -168,6 +237,8 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "write_errors": self.write_errors,
+            "quarantined": self.quarantined,
         }
 
     def telemetry(self, hit: bool) -> StoreTelemetry:
@@ -227,17 +298,29 @@ class DiskStore(ResultStore):
     Writes go to a temp file in the target shard and land via
     ``os.replace``, so concurrent readers (other processes, a daemon)
     either see the old complete entry or the new complete entry, never a
-    torn one.  Reads bump the entry's access time (``os.utime``), which
-    is the LRU clock eviction sorts by.
+    torn one.  With ``fsync=True`` the temp file and its shard directory
+    are synced around the replace, upgrading atomic to **crash-durable**
+    (a power loss after :meth:`put` returns cannot lose or tear the
+    entry) at the cost of two fsyncs per write.  Reads bump the entry's
+    access time (``os.utime``), which is the LRU clock eviction sorts
+    by.  Eviction serializes across processes via ``flock`` on
+    ``<root>/eviction.lock``; entries the decoder rejects move to
+    ``<root>/quarantine/`` rather than being deleted.
     """
 
     name = "disk"
 
     _SUFFIX = ".json"
 
-    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        root: str,
+        max_bytes: Optional[int] = None,
+        fsync: bool = False,
+    ) -> None:
         super().__init__(max_bytes)
         self.root = os.path.abspath(root)
+        self.fsync = fsync
         self._objects = os.path.join(self.root, "objects")
         try:
             os.makedirs(self._objects, exist_ok=True)
@@ -275,7 +358,12 @@ class DiskStore(ResultStore):
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp_path, path)
+            if self.fsync:
+                self._fsync_dir(shard_dir)
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -283,11 +371,69 @@ class DiskStore(ResultStore):
                 pass
             raise
 
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        """Make a rename durable by syncing its containing directory."""
+        try:
+            dir_fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
     def _delete(self, fingerprint: str) -> None:
         try:
             os.unlink(self._path(fingerprint))
         except OSError:
             pass
+
+    def _quarantine(self, fingerprint: str) -> None:
+        """Move a corrupted entry to ``<root>/quarantine/`` for post-mortem.
+
+        The move is an ``os.replace`` (atomic on the same filesystem);
+        if the quarantine directory cannot be created or the move fails,
+        fall back to deletion so the corrupt entry never keeps serving
+        misses.
+        """
+        path = self._path(fingerprint)
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(
+                path, os.path.join(quarantine_dir, fingerprint + self._SUFFIX)
+            )
+        except OSError:
+            self._delete(fingerprint)
+
+    def _acquire_eviction_lock(self) -> object:
+        if fcntl is None:
+            return None  # best-effort on platforms without flock
+        try:
+            fd = os.open(
+                os.path.join(self.root, "eviction.lock"),
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False  # another process holds the eviction lock
+        return fd
+
+    def _release_eviction_lock(self, token: object) -> None:
+        if isinstance(token, int):
+            try:
+                fcntl.flock(token, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(token)
 
     def _entries(self) -> Iterator[Tuple[str, os.stat_result]]:
         try:
@@ -337,14 +483,17 @@ def default_store_root() -> str:
 
 
 def open_store(
-    spec: Optional[object], max_bytes: Optional[int] = None
+    spec: Optional[object],
+    max_bytes: Optional[int] = None,
+    fsync: bool = False,
 ) -> Optional[ResultStore]:
     """Resolve a store spec to a :class:`ResultStore` (None passes through).
 
     Accepted specs: an existing :class:`ResultStore` instance,
     ``"memory"``, ``"disk"`` (the default root), ``"disk:PATH"``, or a
     bare filesystem path (anything containing a separator, or ``.``/
-    ``..``-relative).  Unknown names raise the structured
+    ``..``-relative).  ``fsync`` applies to disk-backed stores only.
+    Unknown names raise the structured
     :class:`~repro.service.registry.RegistryError` (kind ``"store"``)
     with the alternatives listed.
     """
@@ -355,11 +504,11 @@ def open_store(
     if spec == "memory":
         return MemoryStore(max_bytes=max_bytes)
     if spec == "disk":
-        return DiskStore(default_store_root(), max_bytes=max_bytes)
+        return DiskStore(default_store_root(), max_bytes=max_bytes, fsync=fsync)
     if spec.startswith("disk:"):
-        return DiskStore(spec[len("disk:"):], max_bytes=max_bytes)
+        return DiskStore(spec[len("disk:"):], max_bytes=max_bytes, fsync=fsync)
     if os.sep in spec or spec.startswith((".", "~")):
-        return DiskStore(os.path.expanduser(spec), max_bytes=max_bytes)
+        return DiskStore(os.path.expanduser(spec), max_bytes=max_bytes, fsync=fsync)
     from .registry import RegistryError
 
     raise RegistryError(

@@ -1,0 +1,805 @@
+"""Wire-chaos property suite: faults never change results.
+
+The transport hardening contract (PR 9) is that the daemon wire can
+refuse, reset, truncate, corrupt, stall or crash and the caller still
+gets **byte-identical results** to a fault-free run — transient faults
+are absorbed by the client's retry policy, a dead daemon is respawned,
+and an exhausted retry budget degrades to in-process execution (slower,
+same bytes).  Every plan here is a deterministic
+:class:`~repro.service.chaos.WireFaultPlan`, so each misbehaviour is
+exercised on purpose, on both transports, every run.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.errors import DaemonError, ReproError
+from repro.eval.export import suite_result_to_json
+from repro.service import (
+    EvaluationRequest,
+    ReproDaemon,
+    ReproService,
+    ServiceClient,
+    WireFault,
+    WireFaultPlan,
+    WireRetryPolicy,
+)
+from repro.service.chaos import WIRE_CRASH_EXIT_CODE
+from repro.service.daemon import connect_endpoint, wait_for_daemon
+from repro.workloads.kernels import daxpy, stencil5
+from repro.workloads.spec import Benchmark
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def mini_suite():
+    return (Benchmark(name="mini", loops=(daxpy(), stencil5())),)
+
+
+def other_suite():
+    return (Benchmark(name="other", loops=(stencil5(),)),)
+
+
+def _request():
+    return EvaluationRequest(scheduler="gp", machine="2x32", suite=mini_suite())
+
+
+def _other_request():
+    return EvaluationRequest(
+        scheduler="unified", machine="2x32", suite=other_suite()
+    )
+
+
+def _scrub_timing(text):
+    """Zero wall-clock fields so runs compare byte-for-byte."""
+    payload = json.loads(text)
+
+    def scrub(node):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if "cpu_seconds" in key:
+                    node[key] = 0.0
+                else:
+                    scrub(value)
+        elif isinstance(node, list):
+            for item in node:
+                scrub(item)
+
+    scrub(payload)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free ground truth, computed once, locally."""
+    with ReproService(jobs=1) as service:
+        mini = service.evaluate(_request())
+        other = service.evaluate(_other_request())
+    return {
+        _request().fingerprint(): _scrub_timing(
+            suite_result_to_json(mini.result)
+        ),
+        _other_request().fingerprint(): _scrub_timing(
+            suite_result_to_json(other.result)
+        ),
+    }
+
+
+def _assert_identical(response, baseline):
+    key = response.meta.fingerprint
+    assert _scrub_timing(suite_result_to_json(response.result)) == baseline[key]
+
+
+def _free_tcp_port():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+@pytest.fixture(params=["unix", "tcp"])
+def endpoint(request, tmp_path):
+    if request.param == "unix":
+        yield str(tmp_path / "chaos.sock")
+    else:
+        yield f"tcp:{_free_tcp_port()}"
+
+
+@pytest.fixture
+def unix_endpoint(tmp_path):
+    yield str(tmp_path / "chaos.sock")
+
+
+@contextmanager
+def run_daemon(endpoint, **kwargs):
+    """An in-thread daemon, ready to serve when the body runs.
+
+    Readiness is filesystem-observed for unix sockets (the bind creates
+    the file) so no probe connection perturbs the daemon's deterministic
+    accept/reply indices; TCP readiness needs one probe connect, which
+    consumes accept index 0 (TCP tests must not plan ``accept`` faults).
+    """
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("idle_timeout", 60)
+    server = ReproDaemon(endpoint=endpoint, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 15
+    if server.family == "unix":
+        while not os.path.exists(server.address):
+            time.sleep(0.01)
+            assert time.monotonic() < deadline, "daemon never bound"
+    else:
+        while True:
+            try:
+                connect_endpoint(endpoint, timeout=0.5).close()
+                break
+            except OSError:
+                time.sleep(0.01)
+                assert time.monotonic() < deadline, "daemon never bound"
+    try:
+        yield server, thread
+    finally:
+        server._stopping = True
+        thread.join(timeout=15)
+
+
+def fast_retry(**overrides):
+    """A retry policy that never really sleeps (tests stay quick)."""
+    options = {
+        "max_attempts": 3,
+        "backoff_base": 0.001,
+        "jitter": 0.0,
+        "sleep": lambda _seconds: None,
+    }
+    options.update(overrides)
+    return WireRetryPolicy(**options)
+
+
+class TestWireFaultPlan:
+    def test_fault_validation(self):
+        with pytest.raises(ReproError, match="site"):
+            WireFault(site="server", index=0, kind="refuse")
+        with pytest.raises(ReproError, match="kind"):
+            WireFault(site="client", index=0, kind="explode")
+        with pytest.raises(ReproError, match="index"):
+            WireFault(site="client", index=-1, kind="refuse")
+        with pytest.raises(ReproError, match="stall_seconds"):
+            WireFaultPlan(stall_seconds=0)
+
+    def test_fault_lookup(self):
+        plan = WireFaultPlan(
+            faults=(
+                WireFault(site="client", index=2, kind="refuse"),
+                WireFault(site="daemon", index=1, kind="stall"),
+            )
+        )
+        assert plan.fault_for("client", 2) == "refuse"
+        assert plan.fault_for("daemon", 1) == "stall"
+        assert plan.fault_for("client", 1) is None
+        assert plan.fault_for("accept", 2) is None
+        assert plan.sites() == ("client", "daemon")
+
+    def test_from_seed_is_deterministic(self):
+        first = WireFaultPlan.from_seed(7, kinds=("refuse", "disconnect"))
+        second = WireFaultPlan.from_seed(7, kinds=("refuse", "disconnect"))
+        assert first == second
+        assert first != WireFaultPlan.from_seed(8, kinds=("refuse",))
+        kinds = [fault.kind for fault in first.faults]
+        assert kinds == ["refuse", "disconnect", "refuse"]
+        indices = [fault.index for fault in first.faults]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_from_seed_validation(self):
+        with pytest.raises(ReproError):
+            WireFaultPlan.from_seed(1, site="nowhere")
+        with pytest.raises(ReproError):
+            WireFaultPlan.from_seed(1, count=5, span=3)
+
+    def test_json_round_trip(self):
+        plan = WireFaultPlan.from_seed(
+            3, kinds=("stall", "corrupt"), stall_seconds=1.5
+        )
+        payload = plan.to_dict()
+        assert payload["schema"] == "repro-wire-fault-plan/v1"
+        assert WireFaultPlan.from_json(plan.to_json()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        plan = WireFaultPlan.from_seed(5)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert WireFaultPlan.load(str(path)) == plan
+        with pytest.raises(ReproError, match="cannot read"):
+            WireFaultPlan.load(str(tmp_path / "absent.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            WireFaultPlan.load(str(bad))
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text('{"faults": [{"site": "client"}]}')
+        with pytest.raises(ReproError, match="malformed"):
+            WireFaultPlan.load(str(malformed))
+
+
+# Client exchange indices: 0 = the connection-validating ping, 1 = the
+# first work exchange; each retry reconnects (ping) then resends, so a
+# faulted work exchange at index i retries at index i+2.  Daemon reply
+# indices follow the same rhythm (0 = ping reply, 1 = first work reply).
+TRANSIENT_PLANS = {
+    "refused-connects": WireFaultPlan(
+        faults=(
+            WireFault(site="client", index=1, kind="refuse"),
+            WireFault(site="client", index=3, kind="refuse"),
+        )
+    ),
+    "client-mid-message-disconnect": WireFaultPlan(
+        faults=(WireFault(site="client", index=1, kind="disconnect"),)
+    ),
+    "daemon-disconnect-before-reply": WireFaultPlan(
+        faults=(WireFault(site="daemon", index=1, kind="disconnect"),)
+    ),
+    "client-garbled-replies": WireFaultPlan(
+        faults=(
+            WireFault(site="client", index=1, kind="truncate"),
+            WireFault(site="client", index=3, kind="corrupt"),
+        )
+    ),
+    "daemon-garbled-replies": WireFaultPlan(
+        faults=(
+            WireFault(site="daemon", index=1, kind="truncate"),
+            WireFault(site="daemon", index=3, kind="corrupt"),
+        )
+    ),
+}
+
+
+class TestFaultsNeverChangeResults:
+    """The headline property, on both transports: a faulted wire yields
+    the same bytes as no wire at all."""
+
+    @pytest.mark.parametrize("plan_name", sorted(TRANSIENT_PLANS))
+    def test_transient_fault_is_retried_and_invisible(
+        self, endpoint, baseline, plan_name
+    ):
+        plan = TRANSIENT_PLANS[plan_name]
+        with run_daemon(endpoint, chaos=plan) as (server, _thread):
+            # No explicit connect(): the first evaluate then runs at
+            # client exchange index 1 / daemon reply index 1 (index 0 is
+            # the connection-validating ping), which is where the plans
+            # above aim their first fault.
+            client = ServiceClient(
+                endpoint=endpoint,
+                autospawn=False,
+                retry=fast_retry(),
+                chaos=plan,
+            )
+            try:
+                response = client.evaluate(_request())
+                _assert_identical(response, baseline)
+                # The fault really fired: the call needed the wire
+                # retry machinery, and never the degraded path.
+                assert response.meta.wire is not None
+                assert response.meta.wire.retries >= 1
+                assert response.meta.wire.degraded is False
+                assert not client.degraded
+                assert client.wire.retries >= 1
+            finally:
+                client.close()
+
+    def test_stalled_daemon_trips_call_timeout_then_retries(
+        self, endpoint, baseline
+    ):
+        # The daemon's first work reply stalls for longer than the
+        # client is willing to wait; the client times the exchange out,
+        # reconnects and retries — the recomputation is a daemon memo
+        # hit, so the late first answer is simply abandoned.
+        plan = WireFaultPlan(
+            faults=(WireFault(site="daemon", index=1, kind="stall"),),
+            stall_seconds=1.0,
+        )
+        with run_daemon(endpoint, chaos=plan) as (server, _thread):
+            client = ServiceClient(
+                endpoint=endpoint,
+                autospawn=False,
+                retry=fast_retry(call_timeout=0.25),
+                chaos=plan,
+            )
+            try:
+                response = client.evaluate(_request())
+                _assert_identical(response, baseline)
+                assert client.wire.timeouts >= 1
+                assert response.meta.wire.retries >= 1
+                assert not client.degraded
+            finally:
+                client.close()
+
+    def test_accept_close_is_retried(self, unix_endpoint, baseline):
+        # The daemon accepts and immediately closes the second
+        # connection (accept index 1); the client's reconnect survives
+        # it.  Unix-only: TCP readiness probing would shift the indices.
+        plan = WireFaultPlan(
+            faults=(WireFault(site="accept", index=1, kind="close"),)
+        )
+        with run_daemon(unix_endpoint, chaos=plan) as (server, _thread):
+            with ServiceClient(
+                endpoint=unix_endpoint, autospawn=False, retry=fast_retry()
+            ) as client:
+                _assert_identical(client.evaluate(_request()), baseline)
+            with ServiceClient(
+                endpoint=unix_endpoint, autospawn=False, retry=fast_retry()
+            ) as client:
+                response = client.evaluate(_other_request())
+                _assert_identical(response, baseline)
+                assert client.wire.retries >= 1
+
+    def test_seeded_plans_are_survivable(self, unix_endpoint, baseline):
+        # A generated plan (the CI chaos-smoke shape): three disconnects
+        # drawn from a seed, sparser than the retry budget.
+        plan = WireFaultPlan.from_seed(
+            2026, kinds=("disconnect", "refuse"), count=3, span=24
+        )
+        with run_daemon(unix_endpoint, chaos=plan) as (server, _thread):
+            with ServiceClient(
+                endpoint=unix_endpoint,
+                autospawn=False,
+                retry=fast_retry(max_attempts=4),
+                chaos=plan,
+            ) as client:
+                first = client.evaluate(_request())
+                second = client.evaluate(_other_request())
+                _assert_identical(first, baseline)
+                _assert_identical(second, baseline)
+
+
+class TestDegradation:
+    def test_budget_exhaustion_degrades_to_identical_results(
+        self, endpoint, baseline
+    ):
+        # Every exchange refused: the wire is useless, the client warns
+        # once, computes in-process, and the bytes do not change.
+        plan = WireFaultPlan(
+            faults=tuple(
+                WireFault(site="client", index=i, kind="refuse")
+                for i in range(12)
+            )
+        )
+        with run_daemon(endpoint) as (server, _thread):
+            client = ServiceClient(
+                endpoint=endpoint,
+                autospawn=False,
+                retry=fast_retry(max_attempts=2),
+                chaos=plan,
+            )
+            try:
+                with pytest.warns(RuntimeWarning, match="degrading"):
+                    response = client.evaluate(_request())
+                _assert_identical(response, baseline)
+                assert client.degraded
+                assert response.meta.wire.degraded is True
+                assert client.wire.degraded_calls == 1
+                # Once degraded, later work skips the dead wire (no new
+                # exchanges) but stays correct.
+                exchanges = client.wire.attempts
+                again = client.evaluate(_other_request())
+                _assert_identical(again, baseline)
+                assert client.wire.attempts == exchanges
+                assert again.meta.wire.degraded is True
+            finally:
+                client.close()
+
+    def test_degrade_false_raises_instead(self, unix_endpoint):
+        plan = WireFaultPlan(
+            faults=tuple(
+                WireFault(site="client", index=i, kind="refuse")
+                for i in range(6)
+            )
+        )
+        with run_daemon(unix_endpoint) as (server, _thread):
+            client = ServiceClient(
+                endpoint=unix_endpoint,
+                autospawn=False,
+                retry=fast_retry(max_attempts=2, degrade=False),
+                chaos=plan,
+            )
+            try:
+                with pytest.raises(DaemonError, match="2 attempts"):
+                    client.evaluate(_request())
+            finally:
+                client.close()
+
+
+class TestRawWireSemantics:
+    """Raw-socket checks of the wire/2 envelope the client relies on."""
+
+    def _exchange(self, sock, message):
+        sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        return json.loads(reader.readline())
+
+    def test_wire_1_still_answered(self, unix_endpoint):
+        with run_daemon(unix_endpoint) as (server, _thread):
+            sock = connect_endpoint(unix_endpoint)
+            try:
+                reply = self._exchange(
+                    sock, {"schema": "repro-wire/1", "op": "ping"}
+                )
+                assert reply["ok"] is True
+                assert reply["server"]["schema"] == "repro-wire/2"
+            finally:
+                sock.close()
+
+    def test_unknown_schema_refused(self, unix_endpoint):
+        with run_daemon(unix_endpoint) as (server, _thread):
+            sock = connect_endpoint(unix_endpoint)
+            try:
+                reply = self._exchange(
+                    sock, {"schema": "repro-wire/99", "op": "ping"}
+                )
+                assert reply["ok"] is False
+                assert "repro-wire/2" in reply["error"]["message"]
+            finally:
+                sock.close()
+
+    def test_expired_deadline_gets_structured_timeout(self, unix_endpoint):
+        from repro.service.codec import encode_request
+
+        with run_daemon(unix_endpoint) as (server, _thread):
+            sock = connect_endpoint(unix_endpoint)
+            try:
+                reply = self._exchange(
+                    sock,
+                    {
+                        "schema": "repro-wire/2",
+                        "op": "evaluate",
+                        "deadline": 1e-9,
+                        "requests": [encode_request(_request())],
+                    },
+                )
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == "WireTimeoutError"
+                assert server.deadline_misses == 1
+                # The connection survives the refusal: the same socket
+                # can still do real work.
+                reply = self._exchange(
+                    sock,
+                    {
+                        "schema": "repro-wire/2",
+                        "op": "evaluate",
+                        "deadline": 60.0,
+                        "requests": [encode_request(_request())],
+                    },
+                )
+                assert reply["ok"] is True
+                assert len(reply["responses"]) == 1
+            finally:
+                sock.close()
+
+    def test_malformed_deadline_rejected(self, unix_endpoint):
+        with run_daemon(unix_endpoint) as (server, _thread):
+            sock = connect_endpoint(unix_endpoint)
+            try:
+                reply = self._exchange(
+                    sock,
+                    {
+                        "schema": "repro-wire/2",
+                        "op": "ping",
+                        "deadline": -1,
+                    },
+                )
+                assert reply["ok"] is False
+                assert "deadline" in reply["error"]["message"]
+            finally:
+                sock.close()
+
+
+class TestConcurrencyAndCoalescing:
+    def test_concurrent_clients_coalesce_duplicates(
+        self, unix_endpoint, baseline
+    ):
+        # Four clients, two distinct fingerprints: each fingerprint is
+        # computed exactly once, duplicates wait on the in-flight entry.
+        requests = [_request(), _other_request(), _request(), _other_request()]
+        with run_daemon(unix_endpoint, max_clients=8) as (server, _thread):
+            original = server.service.evaluate_many
+            compute_batches = []
+
+            def gated(batch):
+                # Hold the first computation open until both duplicate
+                # connections have coalesced, making the overlap (and
+                # therefore the assertion) deterministic.
+                compute_batches.append(len(batch))
+                deadline = time.monotonic() + 10
+                while server.coalesced < 2 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                return original(batch)
+
+            server.service.evaluate_many = gated
+            responses = [None] * len(requests)
+            errors = []
+            barrier = threading.Barrier(len(requests))
+
+            def worker(position):
+                try:
+                    barrier.wait(timeout=10)
+                    with ServiceClient(
+                        endpoint=unix_endpoint,
+                        autospawn=False,
+                        retry=fast_retry(max_attempts=5),
+                    ) as client:
+                        responses[position] = client.evaluate(
+                            requests[position]
+                        )
+                except BaseException as error:  # surfaced below
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(position,))
+                for position in range(len(requests))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert errors == []
+            for response in responses:
+                assert response is not None
+                _assert_identical(response, baseline)
+            # Two owners computed, two waiters coalesced; nothing was
+            # computed twice.
+            assert server.coalesced == 2
+            assert sum(compute_batches) == 2
+            assert server.service.cache_misses == 2
+            assert server.wire_stats()["busy_rejected"] == 0
+
+    def test_excess_connections_get_structured_busy(self, unix_endpoint):
+        with run_daemon(unix_endpoint, max_clients=1) as (server, _thread):
+            holder = connect_endpoint(unix_endpoint)
+            try:
+                deadline = time.monotonic() + 10
+                while not server.wire_stats()["active_connections"]:
+                    time.sleep(0.01)
+                    assert time.monotonic() < deadline
+                rejected = connect_endpoint(unix_endpoint)
+                try:
+                    reader = rejected.makefile(
+                        "r", encoding="utf-8", newline="\n"
+                    )
+                    reply = json.loads(reader.readline())
+                    assert reply["ok"] is False
+                    assert reply["busy"] is True
+                    assert reply["error"]["type"] == "DaemonBusyError"
+                    assert "max_clients=1" in reply["error"]["message"]
+                finally:
+                    rejected.close()
+                assert server.busy_rejected == 1
+            finally:
+                holder.close()
+
+    def test_client_retries_through_busy(self, unix_endpoint, baseline):
+        # The slot frees while the client is backing off; the retry
+        # lands and the result is unaffected.
+        with run_daemon(unix_endpoint, max_clients=1) as (server, _thread):
+            holder = connect_endpoint(unix_endpoint)
+            deadline = time.monotonic() + 10
+            while not server.wire_stats()["active_connections"]:
+                time.sleep(0.01)
+                assert time.monotonic() < deadline
+            releaser = threading.Timer(0.3, holder.close)
+            releaser.start()
+            try:
+                with ServiceClient(
+                    endpoint=unix_endpoint,
+                    autospawn=False,
+                    retry=WireRetryPolicy(
+                        max_attempts=8, backoff_base=0.1, jitter=0.0
+                    ),
+                ) as client:
+                    response = client.evaluate(_request())
+                    _assert_identical(response, baseline)
+                    assert client.wire.busy >= 1
+            finally:
+                releaser.cancel()
+                try:
+                    holder.close()
+                except OSError:
+                    pass
+
+
+class TestGracefulDrain:
+    def _gate_service(self, server):
+        """Swap the daemon's compute for one the test opens and closes."""
+        original = server.service.evaluate_many
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(batch):
+            entered.set()
+            assert release.wait(timeout=30), "test never released the gate"
+            return original(batch)
+
+        server.service.evaluate_many = gated
+        return entered, release
+
+    def test_drain_finishes_in_flight_then_exits(
+        self, unix_endpoint, baseline
+    ):
+        with run_daemon(unix_endpoint, drain_timeout=20) as (server, thread):
+            entered, release = self._gate_service(server)
+            outcome = {}
+
+            def worker():
+                try:
+                    with ServiceClient(
+                        endpoint=unix_endpoint,
+                        autospawn=False,
+                        retry=WireRetryPolicy.none(),
+                    ) as client:
+                        outcome["response"] = client.evaluate(_request())
+                except BaseException as error:
+                    outcome["error"] = error
+
+            in_flight = threading.Thread(target=worker)
+            in_flight.start()
+            assert entered.wait(timeout=15), "request never reached compute"
+            server.drain()
+            server.drain()  # idempotent: double-stop is a no-op
+            # New work is refused with the structured draining reply
+            # (ping still answers: health checks survive the drain).
+            probe = ServiceClient(
+                endpoint=unix_endpoint,
+                autospawn=False,
+                retry=WireRetryPolicy.none(),
+            )
+            try:
+                assert probe.ping()["draining"] is True
+                with pytest.raises(DaemonError, match="draining"):
+                    probe.evaluate(_other_request())
+            finally:
+                probe.close()
+            # The in-flight request still completes, correctly, and the
+            # reply leaves before the daemon closes the connection.
+            release.set()
+            in_flight.join(timeout=30)
+            assert "error" not in outcome, outcome.get("error")
+            _assert_identical(outcome["response"], baseline)
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+            assert not os.path.exists(unix_endpoint)
+
+    def test_idle_timeout_mid_flight_drains_instead_of_killing(
+        self, unix_endpoint, baseline
+    ):
+        with run_daemon(
+            unix_endpoint, idle_timeout=0.3, drain_timeout=20
+        ) as (server, thread):
+            entered, release = self._gate_service(server)
+            outcome = {}
+
+            def worker():
+                try:
+                    with ServiceClient(
+                        endpoint=unix_endpoint,
+                        autospawn=False,
+                        retry=WireRetryPolicy.none(),
+                    ) as client:
+                        outcome["response"] = client.evaluate(_request())
+                except BaseException as error:
+                    outcome["error"] = error
+
+            in_flight = threading.Thread(target=worker)
+            in_flight.start()
+            assert entered.wait(timeout=15)
+            # Let the idle timeout fire while the request is mid-compute:
+            # the daemon must drain (finish it), not die under it.
+            deadline = time.monotonic() + 10
+            while not server._draining:
+                time.sleep(0.02)
+                assert time.monotonic() < deadline, "idle timeout never fired"
+            assert thread.is_alive(), "daemon died with work in flight"
+            release.set()
+            in_flight.join(timeout=30)
+            assert "error" not in outcome, outcome.get("error")
+            _assert_identical(outcome["response"], baseline)
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+
+    def test_serve_status_reports_draining(
+        self, unix_endpoint, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", unix_endpoint)
+        with run_daemon(unix_endpoint, drain_timeout=20) as (server, _thread):
+            entered, release = self._gate_service(server)
+            assert main(["serve", "--status"]) == 0
+            assert "running" in capsys.readouterr().out
+            worker = threading.Thread(
+                target=lambda: ServiceClient(
+                    endpoint=unix_endpoint,
+                    autospawn=False,
+                    retry=WireRetryPolicy.none(),
+                ).evaluate(_request()),
+                daemon=True,
+            )
+            worker.start()
+            assert entered.wait(timeout=15)
+            server.drain()
+            assert main(["serve", "--status"]) == 4
+            assert "draining" in capsys.readouterr().out
+            release.set()
+            worker.join(timeout=30)
+        # Daemon gone: status is the documented "absent" exit code.
+        assert main(["serve", "--status"]) == 3
+        assert "no daemon running" in capsys.readouterr().err
+
+
+class TestDaemonCrashRecovery:
+    def test_cli_survives_daemon_crash_byte_identically(
+        self, tmp_path
+    ):
+        """The full production shape: a served daemon dies mid-request
+        (injected crash), the CLI client respawns a clean one and the
+        artifacts match a fault-free local run byte-for-byte."""
+        socket_path = str(tmp_path / "d.sock")
+        plan = WireFaultPlan(
+            faults=(WireFault(site="daemon", index=1, kind="crash"),)
+        )
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan.to_json())
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT
+        env["REPRO_DAEMON_SOCKET"] = socket_path
+        argv = [
+            sys.executable, "-m", "repro", "evaluate",
+            "--clusters", "2", "--registers", "32", "--programs", "1",
+        ]
+        local = subprocess.run(
+            argv, capture_output=True, text=True, env=env, timeout=180
+        )
+        assert local.returncode == 0, local.stderr
+        serve = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", socket_path, "--jobs", "1",
+                "--idle-timeout", "60",
+                "--wire-fault-plan", str(plan_path),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            wait_for_daemon(socket_path, timeout=60, process=serve)
+            run = subprocess.run(
+                argv + ["--daemon"],
+                capture_output=True, text=True, env=env, timeout=180,
+            )
+            assert run.returncode == 0, run.stderr
+            # The planned daemon died with the recognizable crash code …
+            assert serve.wait(timeout=30) == WIRE_CRASH_EXIT_CODE
+            # … the client retried onto a fresh (clean) daemon …
+            assert "wire:" in run.stderr
+            # … and nothing about the results changed.
+            assert run.stdout == local.stdout
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.wait(timeout=30)
+            subprocess.run(
+                [sys.executable, "-m", "repro", "serve", "--stop"],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            deadline = time.monotonic() + 15
+            while os.path.exists(socket_path) and time.monotonic() < deadline:
+                time.sleep(0.05)

@@ -123,8 +123,10 @@ class TestCommands:
         )
         assert code == 0
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-cli/v4"
+        assert payload["schema"] == "repro-bench-cli/v5"
         assert payload["suite"] == "paper"
+        # A local (non-daemon) run records no wire transport block.
+        assert payload["wire"] is None
         assert payload["jobs"] == 1
         assert payload["oversubscribed"] is False
         assert payload["engine_options"] == {

@@ -29,7 +29,13 @@ from repro.service import (
     ServiceClient,
     WIRE_SCHEMA,
 )
-from repro.service.daemon import ReproDaemon, parse_endpoint, wait_for_daemon
+from repro.service.daemon import (
+    ReproDaemon,
+    daemon_log_path,
+    parse_endpoint,
+    spawn_daemon,
+    wait_for_daemon,
+)
 from repro.workloads.kernels import daxpy, stencil5
 from repro.workloads.spec import Benchmark
 
@@ -280,6 +286,45 @@ class TestLifecycle:
         with pytest.raises(DaemonError):
             ReproDaemon(endpoint=socket_path, idle_timeout=-1)
 
+    def test_tcp_port_is_rebindable_after_hard_stop(self):
+        # SO_REUSEADDR: a daemon replacing a just-stopped predecessor on
+        # the same TCP port must not trip over the TIME_WAIT state the
+        # old listener's connections left behind.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        endpoint = f"tcp:{port}"
+        for _generation in range(2):
+            server = ReproDaemon(endpoint=endpoint, jobs=1, idle_timeout=60)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                wait_for_daemon(endpoint, timeout=10)
+                with ServiceClient(
+                    endpoint=endpoint, autospawn=False
+                ) as client:
+                    assert client.ping()["jobs"] == 1
+            finally:
+                server._stopping = True
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+
+    def test_spawn_failure_error_carries_log_tail(self, socket_path):
+        # A daemon that dies before binding (here: unknown store spec)
+        # must surface *why* — the tail of its captured stderr — not
+        # just an exit code.
+        process = spawn_daemon(socket_path, store="redis")
+        with pytest.raises(DaemonError) as excinfo:
+            wait_for_daemon(socket_path, timeout=30, process=process)
+        message = str(excinfo.value)
+        assert "before accepting connections" in message
+        assert "redis" in message  # the actual stderr, not a summary
+        assert os.path.exists(daemon_log_path(socket_path))
+
     def test_parse_endpoint_forms(self):
         assert parse_endpoint("/tmp/x.sock") == ("unix", "/tmp/x.sock")
         assert parse_endpoint("tcp:9000") == ("tcp", ("127.0.0.1", 9000))
@@ -321,6 +366,14 @@ class TestEndToEnd:
         assert again.returncode == 0, again.stderr
         assert again.stdout == run.stdout
         assert "cache: hits=4 misses=0" in again.stderr
+        # A running daemon reports status with the documented exit code.
+        status = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--status"],
+            capture_output=True, text=True, env=env, timeout=30,
+        )
+        assert status.returncode == 0, status.stderr
+        assert "running" in status.stdout
+        assert "uptime" in status.stdout
         stop = subprocess.run(
             [sys.executable, "-m", "repro", "serve", "--stop"],
             capture_output=True, text=True, env=env, timeout=30,
@@ -331,3 +384,17 @@ class TestEndToEnd:
         while os.path.exists(socket_path) and time.monotonic() < deadline:
             time.sleep(0.05)
         assert not os.path.exists(socket_path)
+        # Stopping an already-stopped daemon is a harmless no-op, and
+        # status now reports "absent" (exit 3).
+        restop = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stop"],
+            capture_output=True, text=True, env=env, timeout=30,
+        )
+        assert restop.returncode == 0, restop.stderr
+        assert "no daemon running" in restop.stderr
+        gone = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--status"],
+            capture_output=True, text=True, env=env, timeout=30,
+        )
+        assert gone.returncode == 3
+        assert "no daemon running" in gone.stderr

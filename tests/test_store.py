@@ -227,6 +227,104 @@ class TestOpenStore:
             open_store(123)
 
 
+class TestCrashSafetyAndSharing:
+    """PR 9 hardening: fsync durability, full-disk degradation,
+    quarantine for corrupt entries, and the multi-daemon eviction lock."""
+
+    def test_fsync_round_trip(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"), fsync=True)
+        store.put("a" * 64, '{"value": 1}')
+        assert store.get("a" * 64) == '{"value": 1}'
+        assert store.fsync is True
+
+    def test_open_store_passes_fsync(self, tmp_path):
+        store = open_store(f"disk:{tmp_path}/s", fsync=True)
+        assert store.fsync is True
+        assert open_store(f"disk:{tmp_path}/s").fsync is False
+
+    def test_write_error_degrades_to_miss_and_warns_once(
+        self, tmp_path, monkeypatch
+    ):
+        import errno
+        import warnings as warnings_module
+
+        store = DiskStore(str(tmp_path / "store"))
+
+        def full_disk(_fingerprint, _text):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(store, "_write", full_disk)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.put("a" * 64, '{"value": 1}')  # must not raise
+            store.put("b" * 64, '{"value": 2}')
+        runtime = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime) == 1  # warn once, not per write
+        assert "without caching" in str(runtime[0].message)
+        assert store.write_errors == 2
+        assert store.get("a" * 64) is None  # a failed put is a miss
+        assert store.stats()["write_errors"] == 2
+        # Recovery: with the disk back, writes persist again.
+        monkeypatch.undo()
+        store.put("c" * 64, '{"value": 3}')
+        assert store.get("c" * 64) == '{"value": 3}'
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        fingerprint = "ab" + "2" * 62
+        store.put(fingerprint, '{"value": 1}')
+        path = (
+            tmp_path / "store" / "objects" / "ab" / (fingerprint + ".json")
+        )
+        path.write_text("{torn write")
+        assert store.load(fingerprint, _decoder) is None
+        assert store.quarantined == 1
+        assert store.misses == 1
+        assert not path.exists()
+        quarantined = (
+            tmp_path / "store" / "quarantine" / (fingerprint + ".json")
+        )
+        assert quarantined.is_file()  # kept for post-mortem …
+        assert quarantined.read_text() == "{torn write"
+        assert fingerprint not in store.keys()  # … but out of the store
+        # The quarantine directory never pollutes the entry scan or the
+        # byte budget.
+        assert store.total_bytes() == 0
+
+    def test_memory_store_quarantine_just_drops(self):
+        store = MemoryStore()
+        store.put("a" * 64, "{bad")
+        assert store.load("a" * 64, _decoder) is None
+        assert store.quarantined == 1
+        assert store.keys() == []
+
+    def test_eviction_lock_contention_skips_eviction(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        entry = '{"value": 0}'
+        store = DiskStore(str(tmp_path / "store"), max_bytes=2 * len(entry))
+        store.put("a" * 64, entry)
+        # Another daemon holds the eviction lock on the shared root:
+        # this store must skip eviction (over budget beats corrupting a
+        # concurrent eviction pass) instead of blocking or racing.
+        lock_path = tmp_path / "store" / "eviction.lock"
+        holder = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(holder, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            store.put("b" * 64, entry)
+            store.put("c" * 64, entry)
+            assert store.evictions == 0
+            assert len(store.keys()) == 3  # temporarily over budget
+        finally:
+            fcntl.flock(holder, fcntl.LOCK_UN)
+            os.close(holder)
+        # Lock released: the next write evicts back down to budget.
+        store.put("d" * 64, entry)
+        assert store.evictions >= 2
+        assert len(store.keys()) <= 2
+
+
 class TestStoreHoldsRealResponses:
     def test_cross_session_replay_is_export_identical(self, tmp_path):
         from repro.eval.export import suite_result_to_json
